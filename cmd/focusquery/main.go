@@ -1,0 +1,127 @@
+// Command focusquery demonstrates the ad-hoc monitoring queries of §3.7:
+// it runs a short crawl and then answers one of the paper's administration
+// questions against the crawl relations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"focus/internal/core"
+	"focus/internal/crawler"
+	"focus/internal/webgraph"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 7, "random seed")
+		pages  = flag.Int("pages", 12000, "synthetic web size")
+		topic  = flag.String("topic", "cycling", "good topic")
+		budget = flag.Int64("budget", 1200, "fetch budget")
+		query  = flag.String("query", "census", "census | harvest | missed | hubs | frontier | crosslinks | spam")
+	)
+	flag.Parse()
+
+	sys, err := core.NewSystem(core.Config{
+		Web: webgraph.Config{
+			Seed:         *seed,
+			NumPages:     *pages,
+			TopicWeights: map[string]float64{*topic: 3},
+		},
+		GoodTopics: []string{*topic},
+		Crawl: crawler.Config{
+			Workers:      8,
+			MaxFetches:   *budget,
+			DistillEvery: 400,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := sys.SeedTopic(*topic, 20); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if _, err := sys.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch *query {
+	case "census":
+		// "with CENSUS(kcid, cnt) as (select kcid, count(oid) from CRAWL
+		//  group by kcid) select kcid, cnt, name from CENSUS, TAXONOMY ..."
+		rows, err := sys.Crawler.CensusByClass()
+		check(err)
+		fmt.Printf("%6s %8s  %s\n", "kcid", "cnt", "name")
+		for _, r := range rows {
+			fmt.Printf("%6d %8d  %s\n", r.Kcid, r.Count, r.Name)
+		}
+	case "harvest":
+		// "select minute(lastvisited), avg(exp(relevance)) from CRAWL ..."
+		rows, err := sys.Crawler.HarvestByWindow(100)
+		check(err)
+		fmt.Printf("%10s %8s %10s\n", "window", "visits", "avg rel")
+		for _, r := range rows {
+			fmt.Printf("%10d %8d %10.3f\n", r.Bucket, r.Count, r.AvgRel)
+		}
+	case "missed":
+		// The psi-percentile hub neighborhood query at the end of §3.7.
+		rows, err := sys.Crawler.MissedNeighbors(0.9)
+		check(err)
+		fmt.Printf("%d unvisited pages cited by top-decile hubs:\n", len(rows))
+		for i, r := range rows {
+			if i >= 20 {
+				fmt.Printf("  ... and %d more\n", len(rows)-20)
+				break
+			}
+			fmt.Printf("  rel=%.3f  %s\n", r.Relevance, r.URL)
+		}
+	case "hubs":
+		hubs, err := sys.Crawler.TopHubURLs(15)
+		check(err)
+		for _, h := range hubs {
+			fmt.Printf("%.5f  %s\n", h.Score, h.URL)
+		}
+	case "frontier":
+		fmt.Printf("frontier size: %d\n", sys.Crawler.FrontierSize())
+		fmt.Println(sys.Crawler.String())
+	case "crosslinks":
+		// The §1 community-evolution query shape: links from environment
+		// pages to oil-and-gas pages, against the reverse direction.
+		env := sys.Tree.ByName("environment").ID
+		oil := sys.Tree.ByName("oilgas").ID
+		fwd, err := sys.Crawler.CrossTopicCitations(env, oil)
+		check(err)
+		rev, err := sys.Crawler.CrossTopicCitations(oil, env)
+		check(err)
+		fmt.Printf("links environment -> oilgas: %d\n", fwd)
+		fmt.Printf("links oilgas -> environment: %d\n", rev)
+	case "spam":
+		// The §1 spam-filter query shape: pages apparently on the good
+		// topic cited by at least two pages of an unrelated topic.
+		target := sys.Tree.ByName(*topic).ID
+		citer := sys.Tree.ByName("shopping").ID
+		suspects, err := sys.Crawler.SpamSuspects(target, citer, 2)
+		check(err)
+		fmt.Printf("%d %s pages cited by >=2 shopping pages:\n", len(suspects), *topic)
+		for i, s := range suspects {
+			if i >= 15 {
+				break
+			}
+			fmt.Printf("  %2d citers  %s\n", s.Citers, s.URL)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown query %q\n", *query)
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

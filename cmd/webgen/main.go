@@ -1,0 +1,73 @@
+// Command webgen generates a synthetic web and reports the statistics the
+// paper's architecture rests on: the radius-1 and radius-2 citation rules,
+// topic sizes, degree distribution, and server structure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"focus/internal/webgraph"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 1, "random seed")
+		pages  = flag.Int("pages", 20000, "number of pages")
+		topics = flag.Bool("topics", false, "just list the taxonomy and exit")
+	)
+	flag.Parse()
+
+	if *topics {
+		tree := webgraph.DefaultTree()
+		for _, n := range tree.Internal() {
+			fmt.Printf("%s\n", n.Path())
+			for _, c := range n.Children {
+				if c.IsLeaf() {
+					fmt.Printf("  %s\n", c.Name)
+				}
+			}
+		}
+		return
+	}
+
+	web, err := webgraph.Generate(webgraph.Config{Seed: *seed, NumPages: *pages})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := web.MeasureLinkStats()
+	fmt.Printf("pages: %d, servers: %d\n", len(web.Pages), web.NumServersUsed())
+	fmt.Printf("radius-1: same-topic link fraction       %.3f (random baseline %.3f)\n",
+		st.SameTopicFrac, st.BaseTopicLink)
+	fmt.Printf("radius-2: P[>=2 links to T | >=1 link]   %.3f (paper's Yahoo! figure ~0.45)\n",
+		st.CondSecondLink)
+
+	var links, hubs int
+	for _, p := range web.Pages {
+		links += len(p.Links)
+		if p.IsHub {
+			hubs++
+		}
+	}
+	fmt.Printf("links: %d (mean out-degree %.1f), hubs: %d (%.1f%%)\n",
+		links, float64(links)/float64(len(web.Pages)), hubs,
+		100*float64(hubs)/float64(len(web.Pages)))
+
+	type row struct {
+		name string
+		n    int
+	}
+	var rows []row
+	for _, leaf := range web.Cfg.Tree.Leaves() {
+		rows = append(rows, row{leaf.Name, len(web.TopicPages(leaf.ID))})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	fmt.Println("\ntopic sizes:")
+	for _, r := range rows {
+		fmt.Printf("  %-16s %6d (%.1f%%)\n", r.name, r.n,
+			100*float64(r.n)/float64(len(web.Pages)))
+	}
+}

@@ -1,0 +1,61 @@
+// Package focus is a from-scratch Go reproduction of "Distributed Hypertext
+// Resource Discovery Through Examples" (Chakrabarti, van den Berg, Dom —
+// VLDB 1999): an example-driven, goal-directed web resource discovery
+// system built around a relational storage engine.
+//
+// The system couples three components over shared relations:
+//
+//   - a hierarchical naive Bayes classifier trained from per-topic example
+//     documents, whose soft-focus relevance R(d) = Σ_{good c} Pr[c|d]
+//     drives crawl priorities;
+//   - a distiller (relevance-weighted HITS with nepotism filtering) that
+//     finds hub pages and periodically boosts their unvisited neighbors;
+//   - a multi-threaded crawler whose frontier is a B+tree priority index
+//     over the CRAWL relation, checked out in (numtries ASC, relevance
+//     DESC, serverload ASC) order.
+//
+// Quick start:
+//
+//	sys, err := focus.New(focus.Config{
+//	    Web:        webgraph.Config{Seed: 1, NumPages: 20000},
+//	    GoodTopics: []string{"cycling"},
+//	    Crawl:      crawler.Config{MaxFetches: 3000, DistillEvery: 500},
+//	})
+//	...
+//	sys.SeedTopic("cycling", 25)
+//	res, err := sys.Run()
+//	hubs, _ := sys.Crawler.TopHubURLs(10)
+//
+// The live 1999 Web is simulated by internal/webgraph, a synthetic
+// hypertext graph calibrated to the radius-1 and radius-2 citation rules
+// the paper's architecture exploits; everything else (storage engine,
+// classifier, distiller, crawler) is implemented as the paper describes.
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// per-figure reproduction results.
+package focus
+
+import (
+	"focus/internal/core"
+	"focus/internal/crawler"
+)
+
+// Config assembles a complete Focus system; see core.Config.
+type Config = core.Config
+
+// System is a ready-to-run Focus instance; see core.System.
+type System = core.System
+
+// Result summarizes a finished crawl.
+type Result = crawler.Result
+
+// Crawl modes (re-exported for convenience).
+const (
+	ModeSoftFocus = crawler.ModeSoftFocus
+	ModeHardFocus = crawler.ModeHardFocus
+	ModeUnfocused = crawler.ModeUnfocused
+)
+
+// New builds a system: generates the synthetic web, trains the classifier
+// on examples of every leaf topic, marks the good topics, and prepares the
+// crawler.
+func New(cfg Config) (*System, error) { return core.NewSystem(cfg) }

@@ -1,0 +1,346 @@
+// Package classifier implements the paper's hierarchical naive Bayes
+// (Bernoulli/multinomial) text classifier (§2.1): training with feature
+// selection and the smoothed parameter estimation of Eq. (1), and three
+// classification access paths whose I/O behaviour Figure 8 compares —
+// SingleProbe over unpacked statistics rows ("SQL"), SingleProbe over
+// packed per-(node,term) records ("BLOB"), and the batched sort-merge-join
+// BulkProbe ("CLI", the plan of Figure 3). An in-memory reference
+// implementation exists so tests can prove all access paths compute the
+// same posteriors.
+package classifier
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"focus/internal/relstore"
+	"focus/internal/taxonomy"
+	"focus/internal/textproc"
+)
+
+// TrainConfig controls training.
+type TrainConfig struct {
+	// FeaturesPerNode is |F(c0)|, the number of discriminating terms kept
+	// per internal node (default 400).
+	FeaturesPerNode int
+	// MinDocFreq drops terms appearing in fewer training documents
+	// (default 2).
+	MinDocFreq int
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.FeaturesPerNode == 0 {
+		c.FeaturesPerNode = 400
+	}
+	if c.MinDocFreq == 0 {
+		c.MinDocFreq = 2
+	}
+	return c
+}
+
+// childTheta is one sparse statistics entry: child class and log theta.
+type childTheta struct {
+	kcid     taxonomy.NodeID
+	logTheta float64
+}
+
+// Model is a trained hierarchical classifier, materialized both in the
+// relational store (TAXONOMY, STAT_c0 tables, BLOB index — Figure 1) and in
+// memory (the reference path).
+type Model struct {
+	Tree *taxonomy.Tree
+	DB   *relstore.DB
+
+	// TaxonomyTable is the TAXONOMY relation:
+	// (pcid, kcid, logprior, logdenom, type, name).
+	TaxonomyTable *relstore.Table
+	// StatTables maps internal node -> its STAT_c0 relation
+	// (kcid, tid, logtheta).
+	StatTables map[taxonomy.NodeID]*relstore.Table
+	// statIndexes are B+tree indexes over STAT_c0 keyed (tid, kcid): the
+	// unpacked "SQL" probe path.
+	statIndexes map[taxonomy.NodeID]*relstore.Index
+	// Blob is the packed index: key (pcid, tid) -> encoded []childTheta.
+	Blob *relstore.BTree
+
+	logPrior map[taxonomy.NodeID]float64
+	logDenom map[taxonomy.NodeID]float64
+	// statsMem is the in-memory mirror: internal node -> tid -> entries.
+	statsMem map[taxonomy.NodeID]map[uint32][]childTheta
+	// kidPos caches each internal node's children and their positions.
+	kids map[taxonomy.NodeID][]*taxonomy.Node
+}
+
+// Examples supplies training documents (token lists) per leaf topic — the
+// D(c) sets of the problem formulation.
+type Examples map[taxonomy.NodeID][][]string
+
+// Train builds a Model from example documents. db receives the statistics
+// relations; pass a dedicated DB (or the crawler's) as the paper does.
+func Train(db *relstore.DB, tree *taxonomy.Tree, examples Examples, cfg TrainConfig) (*Model, error) {
+	cfg = cfg.withDefaults()
+	m := &Model{
+		Tree:        tree,
+		DB:          db,
+		StatTables:  make(map[taxonomy.NodeID]*relstore.Table),
+		statIndexes: make(map[taxonomy.NodeID]*relstore.Index),
+		logPrior:    make(map[taxonomy.NodeID]float64),
+		logDenom:    make(map[taxonomy.NodeID]float64),
+		statsMem:    make(map[taxonomy.NodeID]map[uint32][]childTheta),
+		kids:        make(map[taxonomy.NodeID][]*taxonomy.Node),
+	}
+
+	// Vectorize examples and pool them bottom-up: docsUnder(n) is D(n), the
+	// union of examples in n's subtree.
+	vecs := make(map[taxonomy.NodeID][]textproc.TermVector)
+	for id, docs := range examples {
+		if tree.Node(id) == nil {
+			return nil, fmt.Errorf("classifier: examples for unknown topic %d", id)
+		}
+		for _, toks := range docs {
+			vecs[id] = append(vecs[id], textproc.VectorOfTokens(toks))
+		}
+	}
+	var docsUnder func(n *taxonomy.Node) []textproc.TermVector
+	memo := make(map[taxonomy.NodeID][]textproc.TermVector)
+	docsUnder = func(n *taxonomy.Node) []textproc.TermVector {
+		if d, ok := memo[n.ID]; ok {
+			return d
+		}
+		out := append([]textproc.TermVector(nil), vecs[n.ID]...)
+		for _, c := range n.Children {
+			out = append(out, docsUnder(c)...)
+		}
+		memo[n.ID] = out
+		return out
+	}
+	if len(docsUnder(tree.Root)) == 0 {
+		return nil, fmt.Errorf("classifier: no training documents")
+	}
+
+	// Create the TAXONOMY relation.
+	taxSchema := relstore.NewSchema(
+		relstore.Column{Name: "pcid", Kind: relstore.KInt32},
+		relstore.Column{Name: "kcid", Kind: relstore.KInt32},
+		relstore.Column{Name: "logprior", Kind: relstore.KFloat64},
+		relstore.Column{Name: "logdenom", Kind: relstore.KFloat64},
+		relstore.Column{Name: "type", Kind: relstore.KInt32},
+		relstore.Column{Name: "name", Kind: relstore.KString},
+	)
+	taxTable, err := db.CreateTable("TAXONOMY", taxSchema)
+	if err != nil {
+		return nil, err
+	}
+	m.TaxonomyTable = taxTable
+	blob, err := relstore.NewBTree(db.Pool())
+	if err != nil {
+		return nil, err
+	}
+	m.Blob = blob
+
+	statSchema := relstore.NewSchema(
+		relstore.Column{Name: "kcid", Kind: relstore.KInt32},
+		relstore.Column{Name: "tid", Kind: relstore.KInt64},
+		relstore.Column{Name: "logtheta", Kind: relstore.KFloat64},
+	)
+
+	for _, c0 := range tree.Internal() {
+		m.kids[c0.ID] = c0.Children
+		parentDocs := docsUnder(c0)
+		if len(parentDocs) == 0 {
+			continue
+		}
+		feats := selectFeatures(c0, docsUnder, cfg)
+
+		// Vocabulary size |union over D(c0) of {t in d}| for Eq (1).
+		vocab := make(map[uint32]bool)
+		for _, d := range parentDocs {
+			for t := range d {
+				vocab[t] = true
+			}
+		}
+
+		st, err := db.CreateTable("STAT_"+c0.Name, statSchema)
+		if err != nil {
+			return nil, err
+		}
+		m.StatTables[c0.ID] = st
+		mem := make(map[uint32][]childTheta)
+		m.statsMem[c0.ID] = mem
+
+		for _, ci := range c0.Children {
+			ciDocs := docsUnder(ci)
+			var mass int64
+			counts := make(map[uint32]int64)
+			for _, d := range ciDocs {
+				for t, f := range d {
+					if feats[t] {
+						counts[t] += int64(f)
+					}
+					mass += int64(f)
+				}
+			}
+			denom := float64(len(vocab)) + float64(mass)
+			m.logDenom[ci.ID] = math.Log(denom)
+			prior := float64(len(ciDocs)) / float64(len(parentDocs))
+			if prior == 0 {
+				prior = 1e-9 // children without examples get a tiny prior
+			}
+			m.logPrior[ci.ID] = math.Log(prior)
+			for t, n := range counts {
+				if n == 0 {
+					continue
+				}
+				lt := math.Log(1+float64(n)) - math.Log(denom)
+				mem[t] = append(mem[t], childTheta{kcid: ci.ID, logTheta: lt})
+				_, err := st.Insert(relstore.Tuple{
+					relstore.I32(int32(ci.ID)),
+					relstore.I64(int64(t)),
+					relstore.F64(lt),
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Keep per-tid entries in child order for deterministic packing.
+		for t := range mem {
+			es := mem[t]
+			sort.Slice(es, func(i, j int) bool { return es[i].kcid < es[j].kcid })
+			mem[t] = es
+		}
+
+		// Unpacked probe path: index STAT_c0 by (tid, kcid).
+		ix, err := st.AddIndex("tid", func(tp relstore.Tuple) []byte {
+			return relstore.EncodeKey(tp[1], tp[0])
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.statIndexes[c0.ID] = ix
+
+		// Packed probe path: BLOB[(pcid, tid)] -> record list.
+		for t, es := range mem {
+			key := relstore.EncodeKey(relstore.I32(int32(c0.ID)), relstore.I64(int64(t)))
+			if err := m.Blob.Insert(key, encodeThetas(es)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Populate TAXONOMY rows (the root has pcid 0).
+	var fill func(n *taxonomy.Node) error
+	fill = func(n *taxonomy.Node) error {
+		var pcid int32
+		if n.Parent != nil {
+			pcid = int32(n.Parent.ID)
+		}
+		_, err := taxTable.Insert(relstore.Tuple{
+			relstore.I32(pcid),
+			relstore.I32(int32(n.ID)),
+			relstore.F64(m.logPrior[n.ID]),
+			relstore.F64(m.logDenom[n.ID]),
+			relstore.I32(int32(tree.Mark(n.ID))),
+			relstore.Str(n.Name),
+		})
+		if err != nil {
+			return err
+		}
+		for _, c := range n.Children {
+			if err := fill(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := fill(tree.Root); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// selectFeatures picks the FeaturesPerNode terms with the highest mutual
+// information between term presence and child class at node c0.
+func selectFeatures(c0 *taxonomy.Node, docsUnder func(*taxonomy.Node) []textproc.TermVector, cfg TrainConfig) map[uint32]bool {
+	type termStat struct {
+		df    []int64 // per-child document frequency
+		total int64
+	}
+	nKids := len(c0.Children)
+	stats := make(map[uint32]*termStat)
+	nDocs := make([]int64, nKids)
+	var total int64
+	for ki, ci := range c0.Children {
+		docs := docsUnder(ci)
+		nDocs[ki] = int64(len(docs))
+		total += nDocs[ki]
+		for _, d := range docs {
+			for t := range d {
+				s := stats[t]
+				if s == nil {
+					s = &termStat{df: make([]int64, nKids)}
+					stats[t] = s
+				}
+				s.df[ki]++
+				s.total++
+			}
+		}
+	}
+	if total == 0 {
+		return map[uint32]bool{}
+	}
+	type scored struct {
+		t  uint32
+		mi float64
+	}
+	var cand []scored
+	N := float64(total)
+	for t, s := range stats {
+		if s.total < int64(cfg.MinDocFreq) {
+			continue
+		}
+		pT := float64(s.total) / N
+		var mi float64
+		for ki := range c0.Children {
+			if nDocs[ki] == 0 {
+				continue
+			}
+			pC := float64(nDocs[ki]) / N
+			// Presence cell.
+			p11 := float64(s.df[ki]) / N
+			if p11 > 0 {
+				mi += p11 * math.Log(p11/(pT*pC))
+			}
+			// Absence cell.
+			p01 := float64(nDocs[ki]-s.df[ki]) / N
+			if p01 > 0 {
+				mi += p01 * math.Log(p01/((1-pT)*pC))
+			}
+		}
+		cand = append(cand, scored{t, mi})
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].mi != cand[j].mi {
+			return cand[i].mi > cand[j].mi
+		}
+		return cand[i].t < cand[j].t
+	})
+	if len(cand) > cfg.FeaturesPerNode {
+		cand = cand[:cfg.FeaturesPerNode]
+	}
+	out := make(map[uint32]bool, len(cand))
+	for _, c := range cand {
+		out[c.t] = true
+	}
+	return out
+}
+
+// NumFeatures reports |F(c0)| actually materialized for an internal node.
+func (m *Model) NumFeatures(c0 taxonomy.NodeID) int { return len(m.statsMem[c0]) }
+
+// LogPrior exposes log Pr[c | parent(c)].
+func (m *Model) LogPrior(c taxonomy.NodeID) float64 { return m.logPrior[c] }
+
+// LogDenom exposes the Eq (1) denominator's log for class c.
+func (m *Model) LogDenom(c taxonomy.NodeID) float64 { return m.logDenom[c] }

@@ -1,0 +1,149 @@
+// Package core wires the Focus system together: the synthetic web (standing
+// in for the live Web), the topic taxonomy with the user's good-set marking,
+// the relational store, the trained hierarchical classifier, and the
+// focused crawler with its concurrent distiller. This is the composition
+// root that the paper's §2 architecture diagram describes; the public
+// package at the module root re-exports it.
+package core
+
+import (
+	"fmt"
+
+	"focus/internal/classifier"
+	"focus/internal/crawler"
+	"focus/internal/relstore"
+	"focus/internal/taxonomy"
+	"focus/internal/webgraph"
+)
+
+// Config assembles a full system.
+type Config struct {
+	// Web configures the simulated hypertext graph.
+	Web webgraph.Config
+	// GoodTopics are the topic names the user marks good (C*).
+	GoodTopics []string
+	// ExamplesPerTopic is the number of training documents per leaf topic
+	// (default 25) — the D(c) example sets.
+	ExamplesPerTopic int
+	// Train tunes the classifier.
+	Train classifier.TrainConfig
+	// Crawl tunes the crawler.
+	Crawl crawler.Config
+	// Frames sizes the buffer pool (default 4096 frames = 16 MiB).
+	Frames int
+}
+
+// System is a ready-to-run Focus instance.
+type System struct {
+	Web     *webgraph.Web
+	Tree    *taxonomy.Tree
+	DB      *relstore.DB
+	Model   *classifier.Model
+	Crawler *crawler.Crawler
+}
+
+// webFetcher adapts the synthetic web to the crawler's Fetcher interface,
+// mapping transient failures onto crawler.ErrTransient.
+type webFetcher struct {
+	w *webgraph.Web
+}
+
+// Fetch implements crawler.Fetcher.
+func (f webFetcher) Fetch(url string) (*crawler.Fetch, error) {
+	res, err := f.w.Fetch(url)
+	if err != nil {
+		if webgraph.IsTransient(err) {
+			return nil, fmt.Errorf("%w: %v", crawler.ErrTransient, err)
+		}
+		return nil, err
+	}
+	return &crawler.Fetch{
+		URL:      res.URL,
+		Server:   res.Server,
+		ServerID: res.ServerID,
+		Tokens:   res.Tokens,
+		Outlinks: res.Outlinks,
+	}, nil
+}
+
+// NewFetcher exposes the adapter for callers composing systems by hand.
+func NewFetcher(w *webgraph.Web) crawler.Fetcher { return webFetcher{w} }
+
+// NewSystem generates the web, trains the classifier on examples of every
+// leaf topic, marks the good set, and builds a crawler.
+func NewSystem(cfg Config) (*System, error) {
+	web, err := webgraph.Generate(cfg.Web)
+	if err != nil {
+		return nil, err
+	}
+	return NewSystemOnWeb(web, cfg)
+}
+
+// NewSystemOnWeb builds a system over an existing web (so experiments can
+// run several crawlers against the same world).
+func NewSystemOnWeb(web *webgraph.Web, cfg Config) (*System, error) {
+	tree := web.Cfg.Tree
+	for _, name := range cfg.GoodTopics {
+		node := tree.ByName(name)
+		if node == nil {
+			return nil, fmt.Errorf("core: unknown good topic %q", name)
+		}
+		if tree.Mark(node.ID) == taxonomy.MarkGood {
+			continue
+		}
+		if err := tree.MarkGood(node.ID); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ExamplesPerTopic == 0 {
+		cfg.ExamplesPerTopic = 25
+	}
+	if cfg.Frames == 0 {
+		cfg.Frames = 4096
+	}
+	db := relstore.Open(relstore.Options{Frames: cfg.Frames})
+	examples := classifier.Examples{}
+	for _, leaf := range tree.Leaves() {
+		examples[leaf.ID] = web.ExampleDocs(leaf.ID, cfg.ExamplesPerTopic)
+	}
+	model, err := classifier.Train(db, tree, examples, cfg.Train)
+	if err != nil {
+		return nil, err
+	}
+	cr, err := crawler.New(db, model, webFetcher{web}, cfg.Crawl)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Web: web, Tree: tree, DB: db, Model: model, Crawler: cr}, nil
+}
+
+// SeedTopic seeds the crawl with n popular pages of the named topic (the
+// keyword-search-plus-distillation start set of §3.4).
+func (s *System) SeedTopic(name string, n int) error {
+	node := s.Tree.ByName(name)
+	if node == nil {
+		return fmt.Errorf("core: unknown topic %q", name)
+	}
+	return s.Crawler.Seed(s.Web.Seeds(node.ID, n))
+}
+
+// Run executes the crawl.
+func (s *System) Run() (crawler.Result, error) { return s.Crawler.Run() }
+
+// TrueRelevantFraction reports, against generator ground truth, the
+// fraction of visited pages whose true topic is good or subsumed — an
+// evaluation the paper could not run on the live Web but a simulator can.
+func (s *System) TrueRelevantFraction() float64 {
+	log := s.Crawler.HarvestLog()
+	if len(log) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, h := range log {
+		p := s.Web.PageByURL(h.URL)
+		if p != nil && s.Tree.IsGoodOrSubsumed(p.Topic) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(log))
+}

@@ -1,0 +1,634 @@
+package crawler
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"focus/internal/classifier"
+	"focus/internal/distiller"
+	"focus/internal/relstore"
+	"focus/internal/textproc"
+)
+
+// Mode selects the link-expansion rule (§2.1.2).
+type Mode int
+
+const (
+	// ModeSoftFocus prioritizes crawling by R(d) and always expands links
+	// (the robust rule the paper reports on).
+	ModeSoftFocus Mode = iota
+	// ModeHardFocus expands links only when the page's best leaf class has
+	// a good ancestor-or-self; it tends to stagnate (§2.1.2).
+	ModeHardFocus
+	// ModeUnfocused is the standard BFS crawler baseline of Figure 5(a).
+	ModeUnfocused
+)
+
+// Config tunes a crawl.
+type Config struct {
+	// Workers is the number of concurrent fetch threads (default 8; the
+	// paper ran about thirty).
+	Workers int
+	// MaxFetches is the fetch-attempt budget; the crawl stops after this
+	// many attempts (default 1000).
+	MaxFetches int64
+	// MaxVisited optionally stops after this many successful page visits.
+	MaxVisited int64
+	// Mode selects soft focus, hard focus, or the unfocused baseline.
+	Mode Mode
+	// MaxRetries is the per-URL transient failure budget (default 3).
+	MaxRetries int32
+	// DistillEvery runs the distiller after every k page visits
+	// (0 disables distillation).
+	DistillEvery int64
+	// Distill configures those runs.
+	Distill distiller.Config
+	// HubNeighborBoost is the relevance assigned to unvisited pages cited
+	// by top-decile hubs after each distillation (default 0.75; 0 keeps the
+	// default, negative disables boosting).
+	HubNeighborBoost float64
+	// SkipDocuments disables populating the DOCUMENT relation (saves space
+	// when the corpus will not be re-classified in bulk).
+	SkipDocuments bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.MaxFetches == 0 {
+		c.MaxFetches = 1000
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.HubNeighborBoost == 0 {
+		c.HubNeighborBoost = 0.75
+	}
+	return c
+}
+
+// HarvestPoint records one visited page in visit order; the sequence is the
+// raw material of the paper's harvest-rate plots (Figure 5).
+type HarvestPoint struct {
+	Seq       int64
+	OID       int64
+	URL       string
+	Relevance float64
+	Kcid      int32
+}
+
+// Result summarizes a finished crawl.
+type Result struct {
+	Visited   int64
+	Fetches   int64
+	Failed    int64
+	Dead      int64
+	Stagnated bool // frontier drained before the budget was spent
+	Distills  int
+	Elapsed   time.Duration
+}
+
+// Crawler owns the crawl state: the CRAWL/LINK/HUBS/AUTH/DOCUMENT relations
+// plus the frontier priority index. All table access serializes through one
+// mutex; fetches (the expensive, high-latency part) run outside it, so
+// workers overlap on network time exactly as the paper's threads do.
+type Crawler struct {
+	cfg     Config
+	db      *relstore.DB
+	model   *classifier.Model
+	fetcher Fetcher
+
+	mu         sync.Mutex
+	crawl      *relstore.Table
+	link       *relstore.Table
+	hubs       *relstore.Table
+	auth       *relstore.Table
+	doc        *relstore.Table
+	frontier   *relstore.Index
+	policy     Policy
+	oidIx      *relstore.Index
+	linkSrcIx  *relstore.Index
+	linkDstIx  *relstore.Index
+	serverSeen map[int32]int32 // lazily maintained per-server URL counts
+	harvest    []HarvestPoint
+	visitSeq   int64
+	insertSeq  int64
+	sinceDist  int64
+	distills   int
+	frontierN  int64
+
+	fetches  atomic.Int64
+	visited  atomic.Int64
+	failed   atomic.Int64
+	dead     atomic.Int64
+	inflight atomic.Int64
+	stop     atomic.Bool
+}
+
+// New creates a crawler over a fresh set of relations in db. The model must
+// be trained and its taxonomy marked with the crawl's good topics.
+func New(db *relstore.DB, model *classifier.Model, fetcher Fetcher, cfg Config) (*Crawler, error) {
+	c := &Crawler{
+		cfg:        cfg.withDefaults(),
+		db:         db,
+		model:      model,
+		fetcher:    fetcher,
+		serverSeen: make(map[int32]int32),
+		policy:     AggressiveDiscovery(),
+	}
+	if c.cfg.Mode == ModeUnfocused {
+		c.policy = FIFO()
+	}
+	var err error
+	if c.crawl, err = db.CreateTable("CRAWL", CrawlSchema()); err != nil {
+		return nil, err
+	}
+	if c.oidIx, err = c.crawl.AddIndex("oid", func(t relstore.Tuple) []byte {
+		return relstore.EncodeKey(t[COID])
+	}); err != nil {
+		return nil, err
+	}
+	if c.frontier, err = c.crawl.AddIndex("frontier", c.policy.Key); err != nil {
+		return nil, err
+	}
+	if c.link, err = db.CreateTable("LINK", LinkSchema()); err != nil {
+		return nil, err
+	}
+	if c.linkSrcIx, err = c.link.AddIndex("bysrc", func(t relstore.Tuple) []byte {
+		return relstore.EncodeKey(t[LSrc], t[LDst])
+	}); err != nil {
+		return nil, err
+	}
+	if c.linkDstIx, err = c.link.AddIndex("bydst", func(t relstore.Tuple) []byte {
+		return relstore.EncodeKey(t[LDst], t[LSrc])
+	}); err != nil {
+		return nil, err
+	}
+	if c.hubs, err = db.CreateTable("HUBS", distiller.HubsAuthSchema()); err != nil {
+		return nil, err
+	}
+	if _, err = c.hubs.AddIndex("oid", func(t relstore.Tuple) []byte {
+		return relstore.EncodeKey(t[0])
+	}); err != nil {
+		return nil, err
+	}
+	if c.auth, err = db.CreateTable("AUTH", distiller.HubsAuthSchema()); err != nil {
+		return nil, err
+	}
+	if _, err = c.auth.AddIndex("oid", func(t relstore.Tuple) []byte {
+		return relstore.EncodeKey(t[0])
+	}); err != nil {
+		return nil, err
+	}
+	if c.doc, err = db.CreateTable("DOCUMENT", classifier.DocSchema()); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Tables exposes the crawl relations (for the distiller, monitors, and
+// experiment harnesses).
+func (c *Crawler) Tables() distiller.Tables {
+	return distiller.Tables{Link: c.link, Crawl: c.crawl, Hubs: c.hubs, Auth: c.auth}
+}
+
+// Crawl returns the CRAWL relation.
+func (c *Crawler) Crawl() *relstore.Table { return c.crawl }
+
+// Link returns the LINK relation.
+func (c *Crawler) Link() *relstore.Table { return c.link }
+
+// Doc returns the DOCUMENT relation.
+func (c *Crawler) Doc() *relstore.Table { return c.doc }
+
+// Model returns the classifier guiding this crawl.
+func (c *Crawler) Model() *classifier.Model { return c.model }
+
+// SetPolicy swaps the frontier checkout order, rebuilding the priority
+// index — the "policy changed dynamically" capability of §3.1.
+func (c *Crawler) SetPolicy(p Policy) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crawl.DropIndex("frontier")
+	ix, err := c.crawl.AddIndex("frontier", p.Key)
+	if err != nil {
+		return err
+	}
+	c.policy = p
+	c.frontier = ix
+	return nil
+}
+
+// Seed inserts the start set D(C*) with relevance 1.
+func (c *Crawler) Seed(urls []string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, u := range urls {
+		if err := c.insertFrontierLocked(u, 1.0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// insertFrontierLocked adds a URL to CRAWL if absent; c.mu must be held.
+func (c *Crawler) insertFrontierLocked(url string, rel float64) error {
+	oid := OIDOf(url)
+	if _, ok, err := c.oidIx.Lookup(relstore.EncodeKey(relstore.I64(oid))); err != nil || ok {
+		return err
+	}
+	sid := SIDOf(url)
+	c.serverSeen[sid]++
+	c.insertSeq++
+	_, err := c.crawl.Insert(relstore.Tuple{
+		relstore.I64(oid),
+		relstore.Str(url),
+		relstore.F64(rel),
+		relstore.I32(0),
+		relstore.I32(c.serverSeen[sid]),
+		relstore.I64(0),
+		relstore.I32(0),
+		relstore.I32(StatusFrontier),
+		relstore.I64(c.insertSeq),
+	})
+	if err == nil {
+		c.frontierN++
+	}
+	return err
+}
+
+// Run executes the crawl until the budget is exhausted or the frontier
+// stagnates, then reports totals.
+func (c *Crawler) Run() (Result, error) {
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, c.cfg.Workers)
+	for w := 0; w < c.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.worker(); err != nil {
+				errCh <- err
+				c.stop.Store(true)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Visited:  c.visited.Load(),
+		Fetches:  c.fetches.Load(),
+		Failed:   c.failed.Load(),
+		Dead:     c.dead.Load(),
+		Distills: c.distills,
+		Elapsed:  time.Since(start),
+	}
+	res.Stagnated = c.frontierEmpty() &&
+		res.Fetches < c.cfg.MaxFetches &&
+		(c.cfg.MaxVisited == 0 || res.Visited < c.cfg.MaxVisited)
+	return res, nil
+}
+
+func (c *Crawler) frontierEmpty() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frontierN == 0
+}
+
+func (c *Crawler) budgetSpent() bool {
+	if c.fetches.Load() >= c.cfg.MaxFetches {
+		return true
+	}
+	if c.cfg.MaxVisited > 0 && c.visited.Load() >= c.cfg.MaxVisited {
+		return true
+	}
+	return false
+}
+
+func (c *Crawler) worker() error {
+	for {
+		if c.stop.Load() || c.budgetSpent() {
+			return nil
+		}
+		rid, row, ok, err := c.checkout()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			// Frontier empty: if no fetch is in flight, the crawl has
+			// stagnated; otherwise wait for in-flight pages to add links.
+			if c.inflight.Load() == 0 {
+				return nil
+			}
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		c.inflight.Add(1)
+		c.fetches.Add(1)
+		res, ferr := c.fetcher.Fetch(row[CURL].S)
+		err = c.process(rid, row, res, ferr)
+		c.inflight.Add(-1)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// checkout pops the best frontier row and marks it in flight.
+func (c *Crawler) checkout() (relstore.RID, relstore.Tuple, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prefix := relstore.EncodeKey(relstore.I32(StatusFrontier))
+	var rid relstore.RID
+	found := false
+	err := c.frontier.ScanPrefix(prefix, func(_ []byte, r relstore.RID) (bool, error) {
+		rid = r
+		found = true
+		return true, nil
+	})
+	if err != nil || !found {
+		return relstore.RID{}, nil, false, err
+	}
+	row, err := c.crawl.Get(rid)
+	if err != nil {
+		return relstore.RID{}, nil, false, err
+	}
+	row[CStatus] = relstore.I32(StatusInflight)
+	if err := c.crawl.Update(rid, row); err != nil {
+		return relstore.RID{}, nil, false, err
+	}
+	c.frontierN--
+	return rid, row, true, nil
+}
+
+// process classifies a fetched page, persists it, and expands the frontier.
+func (c *Crawler) process(rid relstore.RID, row relstore.Tuple, res *Fetch, ferr error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case ferr != nil && errors.Is(ferr, ErrTransient):
+		c.failed.Add(1)
+		tries := int32(row[CTries].Int()) + 1
+		row[CTries] = relstore.I32(tries)
+		// Lazily refresh the server-load estimate while we have the row.
+		row[CLoad] = relstore.I32(c.serverSeen[SIDOf(row[CURL].S)])
+		if tries >= c.cfg.MaxRetries {
+			c.dead.Add(1)
+			row[CStatus] = relstore.I32(StatusDead)
+		} else {
+			row[CStatus] = relstore.I32(StatusFrontier)
+			c.frontierN++
+		}
+		return c.crawl.Update(rid, row)
+	case ferr != nil:
+		c.failed.Add(1)
+		c.dead.Add(1)
+		row[CStatus] = relstore.I32(StatusDead)
+		return c.crawl.Update(rid, row)
+	}
+
+	vec := textproc.VectorOfTokens(res.Tokens)
+	post := c.model.Classify(vec)
+	rel := c.model.Relevance(post)
+	leaf := c.model.BestLeaf(post)
+
+	c.visitSeq++
+	oid := row[COID].Int()
+	row[CRel] = relstore.F64(rel)
+	row[CKcid] = relstore.I32(int32(leaf))
+	row[CLast] = relstore.I64(c.visitSeq)
+	row[CStatus] = relstore.I32(StatusVisited)
+	if err := c.crawl.Update(rid, row); err != nil {
+		return err
+	}
+	c.visited.Add(1)
+	c.harvest = append(c.harvest, HarvestPoint{
+		Seq: c.visitSeq, OID: oid, URL: row[CURL].S,
+		Relevance: rel, Kcid: int32(leaf),
+	})
+	if !c.cfg.SkipDocuments {
+		if err := classifier.InsertDoc(c.doc, oid, vec); err != nil {
+			return err
+		}
+	}
+	// Now that this page's relevance is known, fix up the forward weights
+	// of links pointing at it (the paper uses triggers for this).
+	if err := c.refreshIncomingWeightsLocked(oid, rel); err != nil {
+		return err
+	}
+
+	expand := true
+	if c.cfg.Mode == ModeHardFocus {
+		expand = c.model.Tree.IsGoodOrSubsumed(leaf)
+	}
+	if expand {
+		for _, out := range res.Outlinks {
+			if err := c.addLinkLocked(oid, res.ServerID, rel, out); err != nil {
+				return err
+			}
+		}
+	}
+
+	c.sinceDist++
+	if c.cfg.DistillEvery > 0 && c.sinceDist >= c.cfg.DistillEvery {
+		c.sinceDist = 0
+		if err := c.distillLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addLinkLocked records (src -> dstURL) and enqueues the target if new.
+func (c *Crawler) addLinkLocked(src int64, sidSrc int32, srcRel float64, dstURL string) error {
+	dst := OIDOf(dstURL)
+	if dst == src {
+		return nil
+	}
+	// Dedupe parallel edges.
+	lk := relstore.EncodeKey(relstore.I64(src), relstore.I64(dst))
+	if _, ok, err := c.linkSrcIx.Lookup(lk); err != nil || ok {
+		return err
+	}
+	sidDst := SIDOf(dstURL)
+
+	// Forward weight EF[u,v] = relevance(v); until v is classified, the
+	// radius-1 rule makes R(u) the best available estimate. Backward
+	// weight EB[u,v] = relevance(u), known now.
+	fwd := srcRel
+	dstRID, dstKnown, err := c.oidIx.Lookup(relstore.EncodeKey(relstore.I64(dst)))
+	if err != nil {
+		return err
+	}
+	var dstRow relstore.Tuple
+	if dstKnown {
+		if dstRow, err = c.crawl.Get(dstRID); err != nil {
+			return err
+		}
+		if int32(dstRow[CStatus].Int()) == StatusVisited {
+			fwd = dstRow[CRel].Float()
+		}
+	}
+	_, err = c.link.Insert(relstore.Tuple{
+		relstore.I64(src), relstore.I32(sidSrc),
+		relstore.I64(dst), relstore.I32(sidDst),
+		relstore.F64(fwd), relstore.F64(srcRel),
+	})
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case !dstKnown:
+		prio := srcRel
+		if c.cfg.Mode == ModeUnfocused {
+			prio = 0 // FIFO order ignores it anyway
+		}
+		return c.insertFrontierLocked(dstURL, prio)
+	case int32(dstRow[CStatus].Int()) == StatusFrontier && c.cfg.Mode != ModeUnfocused:
+		// Soft focus: a newly discovered relevant citer raises the
+		// target's priority.
+		if srcRel > dstRow[CRel].Float() {
+			dstRow[CRel] = relstore.F64(srcRel)
+			return c.crawl.Update(dstRID, dstRow)
+		}
+	}
+	return nil
+}
+
+// refreshIncomingWeightsLocked sets wgt_fwd = rel on every stored link into
+// oid, now that the true relevance is known.
+func (c *Crawler) refreshIncomingWeightsLocked(oid int64, rel float64) error {
+	type upd struct {
+		rid relstore.RID
+		row relstore.Tuple
+	}
+	var ups []upd
+	prefix := relstore.EncodeKey(relstore.I64(oid))
+	err := c.linkDstIx.ScanPrefix(prefix, func(_ []byte, rid relstore.RID) (bool, error) {
+		row, err := c.link.Get(rid)
+		if err != nil {
+			return true, err
+		}
+		row[LWgtFwd] = relstore.F64(rel)
+		ups = append(ups, upd{rid, row})
+		return false, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, u := range ups {
+		if err := c.link.Update(u.rid, u.row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// distillLocked runs the join-based distiller over the crawl graph and then
+// raises the priority of unvisited pages cited by top-decile hubs, the
+// monitoring workflow shown at the end of §3.7.
+func (c *Crawler) distillLocked() error {
+	c.distills++
+	if _, err := distiller.RunJoin(c.db, c.Tables(), c.cfg.Distill); err != nil {
+		return err
+	}
+	if c.cfg.HubNeighborBoost < 0 {
+		return nil
+	}
+	psi, err := distiller.Percentile(c.hubs, 0.9)
+	if err != nil || psi == 0 {
+		return err
+	}
+	var tops []int64
+	err = c.hubs.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+		if t[1].Float() > psi {
+			tops = append(tops, t[0].Int())
+		}
+		return false, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, hub := range tops {
+		prefix := relstore.EncodeKey(relstore.I64(hub))
+		var dsts []int64
+		err := c.linkSrcIx.ScanPrefix(prefix, func(_ []byte, rid relstore.RID) (bool, error) {
+			row, err := c.link.Get(rid)
+			if err != nil {
+				return true, err
+			}
+			if row[LSidSrc].Int() != row[LSidDst].Int() {
+				dsts = append(dsts, row[LDst].Int())
+			}
+			return false, nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, dst := range dsts {
+			rid, ok, err := c.oidIx.Lookup(relstore.EncodeKey(relstore.I64(dst)))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			row, err := c.crawl.Get(rid)
+			if err != nil {
+				return err
+			}
+			if int32(row[CStatus].Int()) == StatusFrontier &&
+				row[CTries].Int() == 0 &&
+				row[CRel].Float() < c.cfg.HubNeighborBoost {
+				row[CRel] = relstore.F64(c.cfg.HubNeighborBoost)
+				if err := c.crawl.Update(rid, row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// HarvestLog returns the visit-ordered harvest points (copy).
+func (c *Crawler) HarvestLog() []HarvestPoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]HarvestPoint(nil), c.harvest...)
+}
+
+// URLOf resolves an oid back to its URL through the CRAWL index.
+func (c *Crawler) URLOf(oid int64) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rid, ok, err := c.oidIx.Lookup(relstore.EncodeKey(relstore.I64(oid)))
+	if err != nil || !ok {
+		return "", false
+	}
+	row, err := c.crawl.Get(rid)
+	if err != nil {
+		return "", false
+	}
+	return row[CURL].S, true
+}
+
+// FrontierSize reports the number of checkable frontier rows.
+func (c *Crawler) FrontierSize() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frontierN
+}
+
+// String describes the crawler state briefly.
+func (c *Crawler) String() string {
+	return fmt.Sprintf("crawler{visited=%d fetches=%d frontier=%d policy=%s}",
+		c.visited.Load(), c.fetches.Load(), c.FrontierSize(), c.policy.Name)
+}

@@ -1,0 +1,219 @@
+package crawler
+
+import (
+	"sort"
+
+	"focus/internal/distiller"
+	"focus/internal/relstore"
+	"focus/internal/taxonomy"
+)
+
+// This file holds the ad-hoc monitoring queries of §3.7, written against
+// the crawl relations exactly as the paper's SQL is. They are what made the
+// DBMS-backed design pleasant to operate: harvest plots, stagnation
+// diagnosis by class census, and the missed-neighbors-of-great-hubs probe.
+
+// HarvestBucket is one window of the harvest-rate monitor (the applet's
+// "select minute(lastvisited), avg(exp(relevance))" query, with visit
+// sequence standing in for wall-clock minutes).
+type HarvestBucket struct {
+	Bucket int64 // window index: lastvisited / window
+	Count  int64
+	AvgRel float64
+}
+
+// HarvestByWindow groups visited pages into fixed-size visit windows and
+// averages their relevance, using the store's sort + group-by operators.
+func (c *Crawler) HarvestByWindow(window int64) ([]HarvestBucket, error) {
+	if window <= 0 {
+		window = 100
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it, err := c.crawl.Iter()
+	if err != nil {
+		return nil, err
+	}
+	visited := relstore.FilterIter(it, func(t relstore.Tuple) bool {
+		return int32(t[CStatus].Int()) == StatusVisited
+	})
+	pairs := relstore.MapIter(visited, func(t relstore.Tuple) relstore.Tuple {
+		return relstore.Tuple{
+			relstore.I64(t[CLast].Int() / window),
+			relstore.F64(t[CRel].Float()),
+		}
+	})
+	schema := relstore.NewSchema(
+		relstore.Column{Name: "bucket", Kind: relstore.KInt64},
+		relstore.Column{Name: "rel", Kind: relstore.KFloat64},
+	)
+	sorted, err := relstore.SortByCols(c.db.Pool(), schema, pairs, 0, "bucket")
+	if err != nil {
+		return nil, err
+	}
+	grouped := relstore.GroupBy(sorted, relstore.KeyOfCols(0), []int{0},
+		[]relstore.AggSpec{{Kind: relstore.AggSum, Col: 1}, {Kind: relstore.AggCount}})
+	rows, err := relstore.Collect(grouped)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]HarvestBucket, 0, len(rows))
+	for _, r := range rows {
+		n := r[2].Int()
+		out = append(out, HarvestBucket{
+			Bucket: r[0].Int(),
+			Count:  n,
+			AvgRel: r[1].Float() / float64(n),
+		})
+	}
+	return out, nil
+}
+
+// CensusRow is one class's population among visited pages.
+type CensusRow struct {
+	Kcid  int32
+	Name  string
+	Count int64
+}
+
+// CensusByClass is the stagnation-diagnosis query: how many visited pages
+// landed in each best-matching class (ascending count, like the paper's
+// "order by cnt").
+func (c *Crawler) CensusByClass() ([]CensusRow, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	counts := make(map[int32]int64)
+	err := c.crawl.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+		if int32(t[CStatus].Int()) == StatusVisited {
+			counts[int32(t[CKcid].Int())]++
+		}
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CensusRow, 0, len(counts))
+	for kcid, n := range counts {
+		row := CensusRow{Kcid: kcid, Count: n}
+		if node := c.model.Tree.Node(taxonomy.NodeID(kcid)); node != nil {
+			row.Name = node.Name
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count < out[j].Count
+		}
+		return out[i].Kcid < out[j].Kcid
+	})
+	return out, nil
+}
+
+// MissedNeighbor is an unvisited page cited by a top hub.
+type MissedNeighbor struct {
+	URL       string
+	Relevance float64
+	HubOID    int64
+}
+
+// MissedNeighbors runs the §3.7 query: URLs with numtries = 0 that are
+// linked from hubs above the given score percentile, across servers.
+func (c *Crawler) MissedNeighbors(percentile float64) ([]MissedNeighbor, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	psi, err := distiller.Percentile(c.hubs, percentile)
+	if err != nil {
+		return nil, err
+	}
+	var out []MissedNeighbor
+	err = c.hubs.Scan(func(_ relstore.RID, h relstore.Tuple) (bool, error) {
+		if h[1].Float() <= psi {
+			return false, nil
+		}
+		hub := h[0].Int()
+		prefix := relstore.EncodeKey(relstore.I64(hub))
+		return false, c.linkSrcIx.ScanPrefix(prefix, func(_ []byte, rid relstore.RID) (bool, error) {
+			l, err := c.link.Get(rid)
+			if err != nil {
+				return true, err
+			}
+			if l[LSidSrc].Int() == l[LSidDst].Int() {
+				return false, nil
+			}
+			crid, ok, err := c.oidIx.Lookup(relstore.EncodeKey(relstore.I64(l[LDst].Int())))
+			if err != nil || !ok {
+				return err != nil, err
+			}
+			row, err := c.crawl.Get(crid)
+			if err != nil {
+				return true, err
+			}
+			if int32(row[CStatus].Int()) == StatusFrontier && row[CTries].Int() == 0 {
+				out = append(out, MissedNeighbor{
+					URL:       row[CURL].S,
+					Relevance: row[CRel].Float(),
+					HubOID:    hub,
+				})
+			}
+			return false, nil
+		})
+	})
+	return out, err
+}
+
+// TopHubURLs returns the k best hubs with URLs resolved.
+func (c *Crawler) TopHubURLs(k int) ([]ScoredURL, error) {
+	return c.topURLs(c.hubs, k)
+}
+
+// TopAuthorityURLs returns the k best authorities with URLs resolved.
+func (c *Crawler) TopAuthorityURLs(k int) ([]ScoredURL, error) {
+	return c.topURLs(c.auth, k)
+}
+
+// ScoredURL pairs a URL with a distilled score.
+type ScoredURL struct {
+	OID   int64
+	URL   string
+	Score float64
+}
+
+func (c *Crawler) topURLs(tb *relstore.Table, k int) ([]ScoredURL, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	top, err := distiller.Top(tb, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ScoredURL, 0, len(top))
+	for _, s := range top {
+		su := ScoredURL{OID: s.OID, Score: s.Score}
+		if rid, ok, err := c.oidIx.Lookup(relstore.EncodeKey(relstore.I64(s.OID))); err == nil && ok {
+			if row, err := c.crawl.Get(rid); err == nil {
+				su.URL = row[CURL].S
+			}
+		}
+		out = append(out, su)
+	}
+	return out, nil
+}
+
+// VisitedURLs returns the URLs of visited pages with relevance above the
+// threshold, plus the set of their servers — the coverage experiment's raw
+// material (§3.5).
+func (c *Crawler) VisitedURLs(minRelevance float64) (urls []string, servers map[string]bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	servers = make(map[string]bool)
+	err = c.crawl.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+		if int32(t[CStatus].Int()) != StatusVisited {
+			return false, nil
+		}
+		if t[CRel].Float() >= minRelevance {
+			urls = append(urls, t[CURL].S)
+			servers[HostOf(t[CURL].S)] = true
+		}
+		return false, nil
+	})
+	return urls, servers, err
+}

@@ -1,0 +1,149 @@
+package distiller
+
+import (
+	"time"
+
+	"focus/internal/relstore"
+)
+
+// RunJoin executes the configured number of HITS iterations using the
+// sort-merge join plan of Figure 4 and returns the time breakdown.
+func RunJoin(db *relstore.DB, tb Tables, cfg Config) (Breakdown, error) {
+	cfg = cfg.withDefaults()
+	var bd Breakdown
+	if err := checkTables(tb); err != nil {
+		return bd, err
+	}
+	if err := seedHubs(tb); err != nil {
+		return bd, err
+	}
+	for it := 0; it < cfg.Iterations; it++ {
+		half, err := joinHalf(db, tb, cfg, true)
+		bd.add(half)
+		if err != nil {
+			return bd, err
+		}
+		half, err = joinHalf(db, tb, cfg, false)
+		bd.add(half)
+		if err != nil {
+			return bd, err
+		}
+	}
+	return bd, nil
+}
+
+// joinHalf computes one half-iteration. fwd=true is UpdateAuth (hub scores
+// flow forward to authorities, with the relevance > rho filter); fwd=false
+// is UpdateHubs (authority scores flow backward, no filter) — the asymmetry
+// of Figure 4.
+func joinHalf(db *relstore.DB, tb Tables, cfg Config, fwd bool) (Breakdown, error) {
+	var bd Breakdown
+	bp := db.Pool()
+	src, dst := tb.Hubs, tb.Auth
+	joinCol, groupCol := lSrc, lDst
+	if !fwd {
+		src, dst = tb.Auth, tb.Hubs
+		joinCol, groupCol = lDst, lSrc
+	}
+
+	// Scan + filter LINK.
+	t0 := time.Now()
+	linkIt, err := tb.Link.Iter()
+	if err != nil {
+		return bd, err
+	}
+	filtered := relstore.FilterIter(linkIt, cfg.keepEdge)
+	bd.Scan += time.Since(t0)
+
+	// Sort LINK by the join column; sort the source score table by oid.
+	t0 = time.Now()
+	linkSorted, err := relstore.SortTuples(bp, tb.Link.Schema, filtered,
+		relstore.KeyOfCols(joinCol), cfg.SortMem)
+	if err != nil {
+		return bd, err
+	}
+	srcIt, err := src.Iter()
+	if err != nil {
+		return bd, err
+	}
+	srcSorted, err := relstore.SortByCols(bp, src.Schema, srcIt, cfg.SortMem, "oid")
+	if err != nil {
+		return bd, err
+	}
+	bd.Sort += time.Since(t0)
+
+	// Merge join LINK with the score table on the join column, project to
+	// (group oid, score * weight).
+	t0 = time.Now()
+	joined := relstore.MergeJoin(linkSorted, srcSorted,
+		relstore.KeyOfCols(joinCol), relstore.KeyOfCols(0), false, 0)
+	contrib := relstore.MapIter(joined, func(t relstore.Tuple) relstore.Tuple {
+		w := cfg.revWeight(t)
+		if fwd {
+			w = cfg.fwdWeight(t)
+		}
+		return relstore.Tuple{t[groupCol], relstore.F64(t[7].Float() * w)}
+	})
+	pairSchema := relstore.NewSchema(
+		relstore.Column{Name: "oid", Kind: relstore.KInt64},
+		relstore.Column{Name: "score", Kind: relstore.KFloat64},
+	)
+	rows, err := relstore.Collect(contrib)
+	if err != nil {
+		return bd, err
+	}
+	bd.Scan += time.Since(t0)
+
+	// The forward half admits only authorities with relevance > rho:
+	// a further merge join against CRAWL(oid, relevance).
+	if fwd && tb.Crawl != nil {
+		t0 = time.Now()
+		rel, err := relevanceOf(tb.Crawl)
+		if err != nil {
+			return bd, err
+		}
+		kept := rows[:0]
+		for _, r := range rows {
+			if rel[r[0].Int()] > cfg.Rho {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+		bd.Scan += time.Since(t0)
+	}
+
+	// Sort contributions by oid, group-sum, normalize, write the result.
+	t0 = time.Now()
+	sorted, err := relstore.SortByCols(bp, pairSchema, relstore.NewSliceIter(rows), cfg.SortMem, "oid")
+	if err != nil {
+		return bd, err
+	}
+	bd.Sort += time.Since(t0)
+
+	t0 = time.Now()
+	grouped := relstore.GroupBy(sorted, relstore.KeyOfCols(0), []int{0},
+		[]relstore.AggSpec{{Kind: relstore.AggSum, Col: 1}})
+	out, err := relstore.Collect(grouped)
+	if err != nil {
+		return bd, err
+	}
+	var sum float64
+	for _, r := range out {
+		sum += r[1].Float()
+	}
+	if err := dst.Truncate(); err != nil {
+		return bd, err
+	}
+	for _, r := range out {
+		score := r[1].Float()
+		if sum > 0 {
+			score /= sum
+		}
+		_, err := dst.Insert(relstore.Tuple{r[0], relstore.F64(score)})
+		if err != nil {
+			return bd, err
+		}
+	}
+	bd.Update += time.Since(t0)
+	return bd, nil
+}

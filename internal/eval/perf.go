@@ -1,0 +1,513 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"focus/internal/classifier"
+	"focus/internal/core"
+	"focus/internal/crawler"
+	"focus/internal/distiller"
+	"focus/internal/relstore"
+	"focus/internal/taxonomy"
+	"focus/internal/webgraph"
+)
+
+// ClassifierPerfConfig drives the Figure 8(a) experiment: classify a batch
+// of documents with the three access paths and compare time plus page I/O.
+type ClassifierPerfConfig struct {
+	Seed   int64
+	Docs   int
+	Frames int
+	Train  classifier.TrainConfig
+	// DiskLatency adds simulated per-page-I/O delay, amplifying the
+	// access-path differences the way a 1999 SCSI disk did.
+	DiskLatency time.Duration
+	// BigVocab inflates the statistics well past the buffer pool — the
+	// paper's disk-bound regime.
+	BigVocab bool
+}
+
+func (c ClassifierPerfConfig) withDefaults() ClassifierPerfConfig {
+	if c.Docs == 0 {
+		c.Docs = 400
+	}
+	if c.Frames == 0 {
+		c.Frames = 256
+	}
+	return c
+}
+
+// VariantPerf is one bar of Figure 8(a).
+type VariantPerf struct {
+	Name      string
+	Total     time.Duration
+	ScanDoc   time.Duration // reading DOCUMENT
+	ProbeStat time.Duration // statistics access
+	CPU       time.Duration // remainder
+	PerDoc    time.Duration
+	PoolHits  int64
+	PoolMiss  int64
+	DiskReads int64
+}
+
+// ClassifierPerfResult carries all three bars.
+type ClassifierPerfResult struct {
+	Docs     int
+	Variants []VariantPerf // SQL, BLOB, Bulk (CLI)
+}
+
+// classifierFixture builds a trained model plus a populated DOCUMENT table.
+type classifierFixture struct {
+	db    *relstore.DB
+	disk  *relstore.MemDisk
+	model *classifier.Model
+	doc   *relstore.Table
+	dids  []int64
+}
+
+// fixtureOpts parametrizes the classifier performance fixture. BigVocab
+// inflates the vocabulary and feature budget so the statistics far exceed
+// small buffer pools — the paper's disk-bound regime (350 MB of models
+// against 128 MB of RAM).
+type fixtureOpts struct {
+	seed     int64
+	docs     int
+	frames   int
+	train    classifier.TrainConfig
+	latency  time.Duration
+	bigVocab bool
+}
+
+func newClassifierFixture(o fixtureOpts) (*classifierFixture, error) {
+	webCfg := webgraph.Config{Seed: o.seed, NumPages: 1000}
+	if o.bigVocab {
+		webCfg.BackgroundVocab = 6000
+		webCfg.TopicVocab = 200
+		webCfg.DocLenMean = 220
+		if o.train.FeaturesPerNode == 0 {
+			o.train.FeaturesPerNode = 3000
+		}
+	}
+	web, err := webgraph.Generate(webCfg)
+	if err != nil {
+		return nil, err
+	}
+	disk := relstore.NewMemDisk()
+	db := relstore.Open(relstore.Options{Disk: disk, Frames: o.frames})
+	tree := web.Cfg.Tree
+	examples := classifier.Examples{}
+	for _, leaf := range tree.Leaves() {
+		examples[leaf.ID] = web.ExampleDocs(leaf.ID, 25)
+	}
+	model, err := classifier.Train(db, tree, examples, o.train)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := db.CreateTable("DOCUMENT", classifier.DocSchema())
+	if err != nil {
+		return nil, err
+	}
+	leaves := tree.Leaves()
+	f := &classifierFixture{db: db, disk: disk, model: model, doc: doc}
+	// Fresh test documents per leaf, disjoint from the training range.
+	perLeaf := o.docs/len(leaves) + 1
+	pools := make(map[int]([][]string), len(leaves))
+	for li, leaf := range leaves {
+		pools[li] = web.ExampleDocs(leaf.ID, 100+perLeaf)[100:]
+	}
+	for i := 0; i < o.docs; i++ {
+		li := i % len(leaves)
+		toks := pools[li][i/len(leaves)]
+		did := int64(i + 1)
+		if err := classifier.InsertDoc(doc, did, vectorOf(toks)); err != nil {
+			return nil, err
+		}
+		f.dids = append(f.dids, did)
+	}
+	// Latency applies to measurement, not setup.
+	disk.SetLatency(o.latency)
+	return f, nil
+}
+
+func vectorOf(tokens []string) map[uint32]int32 {
+	v := make(map[uint32]int32, len(tokens))
+	for _, t := range tokens {
+		v[hash32(t)]++
+	}
+	return v
+}
+
+func hash32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// docVectors reads the whole DOCUMENT table into per-document vectors,
+// timing the scan (the "Scan Doc" slice of Figure 8a).
+func (f *classifierFixture) docVectors() (map[int64]map[uint32]int32, time.Duration, error) {
+	t0 := time.Now()
+	out := make(map[int64]map[uint32]int32)
+	err := f.doc.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+		did := t[0].Int()
+		v := out[did]
+		if v == nil {
+			v = make(map[uint32]int32)
+			out[did] = v
+		}
+		v[uint32(t[1].Int())] = int32(t[2].Int())
+		return false, nil
+	})
+	return out, time.Since(t0), err
+}
+
+// RunClassifierPerf reproduces Figure 8(a).
+func RunClassifierPerf(cfg ClassifierPerfConfig) (*ClassifierPerfResult, error) {
+	cfg = cfg.withDefaults()
+	out := &ClassifierPerfResult{Docs: cfg.Docs}
+	for _, layout := range []classifier.ProbeLayout{classifier.LayoutSQL, classifier.LayoutBLOB} {
+		fix, err := newClassifierFixture(fixtureOpts{
+			seed: cfg.Seed, docs: cfg.Docs, frames: cfg.Frames,
+			train: cfg.Train, latency: cfg.DiskLatency, bigVocab: cfg.BigVocab,
+		})
+		if err != nil {
+			return nil, err
+		}
+		name := "SQL (SingleProbe, unpacked)"
+		if layout == classifier.LayoutBLOB {
+			name = "BLOB (SingleProbe, packed)"
+		}
+		pool := fix.db.Pool()
+		pool.ResetStats()
+		fix.disk.Stats().Reset()
+		start := time.Now()
+		vecs, scanTime, err := fix.docVectors()
+		if err != nil {
+			return nil, err
+		}
+		var probeTime time.Duration
+		for _, did := range fix.dids {
+			_, st, err := fix.model.SingleProbeTimed(vecs[did], layout)
+			if err != nil {
+				return nil, err
+			}
+			probeTime += st.ProbeTime
+		}
+		total := time.Since(start)
+		stats := pool.Stats()
+		reads, _ := fix.disk.Stats().Snapshot()
+		out.Variants = append(out.Variants, VariantPerf{
+			Name: name, Total: total,
+			ScanDoc: scanTime, ProbeStat: probeTime,
+			CPU:      total - scanTime - probeTime,
+			PerDoc:   total / time.Duration(cfg.Docs),
+			PoolHits: stats.Hits, PoolMiss: stats.Misses, DiskReads: reads,
+		})
+	}
+
+	// Bulk (the paper's CLI bar).
+	fix, err := newClassifierFixture(fixtureOpts{
+		seed: cfg.Seed, docs: cfg.Docs, frames: cfg.Frames,
+		train: cfg.Train, latency: cfg.DiskLatency, bigVocab: cfg.BigVocab,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool := fix.db.Pool()
+	pool.ResetStats()
+	fix.disk.Stats().Reset()
+	start := time.Now()
+	if _, err := fix.model.BulkClassify(fix.doc, classifier.BulkOptions{}); err != nil {
+		return nil, err
+	}
+	total := time.Since(start)
+	stats := pool.Stats()
+	reads, _ := fix.disk.Stats().Snapshot()
+	out.Variants = append(out.Variants, VariantPerf{
+		Name: "CLI (BulkProbe, sort-merge)", Total: total,
+		CPU: total, PerDoc: total / time.Duration(cfg.Docs),
+		PoolHits: stats.Hits, PoolMiss: stats.Misses, DiskReads: reads,
+	})
+	return out, nil
+}
+
+// Render prints the Figure 8(a) bars.
+func (r *ClassifierPerfResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 8(a): classification running time, %d documents\n", r.Docs)
+	fmt.Fprintf(w, "%-30s %10s %10s %10s %10s %10s %10s\n",
+		"variant", "total", "scan-doc", "probe", "cpu", "per-doc", "pool-miss")
+	for _, v := range r.Variants {
+		fmt.Fprintf(w, "%-30s %10s %10s %10s %10s %10s %10d\n",
+			v.Name, rnd(v.Total), rnd(v.ScanDoc), rnd(v.ProbeStat), rnd(v.CPU),
+			rnd(v.PerDoc), v.PoolMiss)
+	}
+}
+
+func rnd(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
+
+// MemoryScalingPoint is one x-position of Figure 8(b).
+type MemoryScalingPoint struct {
+	Frames      int
+	SingleTotal time.Duration
+	SingleProbe time.Duration
+	BulkTotal   time.Duration
+	SingleMiss  int64
+	BulkMiss    int64
+}
+
+// MemoryScalingResult carries the Figure 8(b) sweep.
+type MemoryScalingResult struct {
+	Docs   int
+	Points []MemoryScalingPoint
+}
+
+// RunMemoryScaling reproduces Figure 8(b): SingleProbe (BLOB layout) and
+// BulkProbe running time as the buffer pool grows.
+func RunMemoryScaling(seed int64, docs int, frames []int, latency time.Duration) (*MemoryScalingResult, error) {
+	if docs == 0 {
+		docs = 250
+	}
+	if len(frames) == 0 {
+		frames = []int{128, 328, 528, 728, 928}
+	}
+	out := &MemoryScalingResult{Docs: docs}
+	for _, fr := range frames {
+		fix, err := newClassifierFixture(fixtureOpts{
+			seed: seed, docs: docs, frames: fr, latency: latency, bigVocab: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		vecs, _, err := fix.docVectors()
+		if err != nil {
+			return nil, err
+		}
+		pool := fix.db.Pool()
+		pool.ResetStats()
+		start := time.Now()
+		var probe time.Duration
+		for _, did := range fix.dids {
+			_, st, err := fix.model.SingleProbeTimed(vecs[did], classifier.LayoutBLOB)
+			if err != nil {
+				return nil, err
+			}
+			probe += st.ProbeTime
+		}
+		singleTotal := time.Since(start)
+		singleMiss := pool.Stats().Misses
+
+		fix2, err := newClassifierFixture(fixtureOpts{
+			seed: seed, docs: docs, frames: fr, latency: latency, bigVocab: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pool2 := fix2.db.Pool()
+		pool2.ResetStats()
+		start = time.Now()
+		if _, err := fix2.model.BulkClassify(fix2.doc, classifier.BulkOptions{
+			SortMem: fr * relstore.PageSize / 2,
+		}); err != nil {
+			return nil, err
+		}
+		bulkTotal := time.Since(start)
+		out.Points = append(out.Points, MemoryScalingPoint{
+			Frames:      fr,
+			SingleTotal: singleTotal,
+			SingleProbe: probe,
+			BulkTotal:   bulkTotal,
+			SingleMiss:  singleMiss,
+			BulkMiss:    pool2.Stats().Misses,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the Figure 8(b) series.
+func (r *MemoryScalingResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 8(b): memory scaling, %d documents\n", r.Docs)
+	fmt.Fprintf(w, "%12s %12s %12s %12s %12s %12s\n",
+		"frames(4kB)", "SingleTotal", "SingleProbe", "BulkTotal", "single-miss", "bulk-miss")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%12d %12s %12s %12s %12d %12d\n",
+			p.Frames, rnd(p.SingleTotal), rnd(p.SingleProbe), rnd(p.BulkTotal),
+			p.SingleMiss, p.BulkMiss)
+	}
+}
+
+// OutputScalingPoint is one point of Figure 8(c).
+type OutputScalingPoint struct {
+	Docs       int
+	OutputSize int64 // #kcid x #did summed over internal nodes
+	BulkTotal  time.Duration
+}
+
+// OutputScalingResult carries the Figure 8(c) scatter.
+type OutputScalingResult struct {
+	Points []OutputScalingPoint
+}
+
+// RunOutputScaling reproduces Figure 8(c): bulk classification time against
+// output size over several decades of batch size.
+func RunOutputScaling(seed int64, docCounts []int, frames int) (*OutputScalingResult, error) {
+	if len(docCounts) == 0 {
+		docCounts = []int{25, 80, 250, 800, 2500}
+	}
+	if frames == 0 {
+		frames = 2048
+	}
+	out := &OutputScalingResult{}
+	for _, docs := range docCounts {
+		fix, err := newClassifierFixture(fixtureOpts{seed: seed, docs: docs, frames: frames})
+		if err != nil {
+			return nil, err
+		}
+		var outputSize int64
+		for _, c0 := range fix.model.Tree.Internal() {
+			outputSize += int64(len(c0.Children)) * int64(docs)
+		}
+		start := time.Now()
+		if _, err := fix.model.BulkClassify(fix.doc, classifier.BulkOptions{}); err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, OutputScalingPoint{
+			Docs:       docs,
+			OutputSize: outputSize,
+			BulkTotal:  time.Since(start),
+		})
+	}
+	return out, nil
+}
+
+// Render prints the Figure 8(c) points with the time-per-output ratio that
+// should stay roughly flat if the algorithm is linear in output size.
+func (r *OutputScalingResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 8(c): bulk classification vs output size\n")
+	fmt.Fprintf(w, "%8s %14s %12s %16s\n", "#did", "#kcid x #did", "time", "ns per output")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%8d %14d %12s %16.0f\n",
+			p.Docs, p.OutputSize, rnd(p.BulkTotal),
+			float64(p.BulkTotal.Nanoseconds())/float64(p.OutputSize))
+	}
+}
+
+// DistillerPerfConfig drives Figure 8(d): one distillation run over a real
+// crawl graph, index-walk versus join.
+type DistillerPerfConfig struct {
+	Web         webgraph.Config
+	Topic       string
+	CrawlBudget int64
+	Iterations  int
+	Frames      int
+	DiskLatency time.Duration
+}
+
+func (c DistillerPerfConfig) withDefaults() DistillerPerfConfig {
+	if c.Topic == "" {
+		c.Topic = "cycling"
+	}
+	if c.CrawlBudget == 0 {
+		c.CrawlBudget = 1200
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 3
+	}
+	if c.Frames == 0 {
+		c.Frames = 512
+	}
+	return c
+}
+
+// DistillerPerfResult carries the Figure 8(d) bars.
+type DistillerPerfResult struct {
+	Edges     int64
+	IndexWalk distiller.Breakdown
+	Join      distiller.Breakdown
+	WalkReads int64
+	JoinReads int64
+}
+
+// RunDistillerPerf reproduces Figure 8(d): crawl a topic to build a LINK
+// graph, then run both distiller implementations over it.
+func RunDistillerPerf(cfg DistillerPerfConfig) (*DistillerPerfResult, error) {
+	cfg = cfg.withDefaults()
+	web, err := webgraph.Generate(cfg.Web)
+	if err != nil {
+		return nil, err
+	}
+	disk := relstore.NewMemDisk()
+	db := relstore.Open(relstore.Options{Disk: disk, Frames: cfg.Frames})
+	tree := web.Cfg.Tree
+	node := tree.ByName(cfg.Topic)
+	if node == nil {
+		return nil, fmt.Errorf("eval: unknown topic %q", cfg.Topic)
+	}
+	if tree.Mark(node.ID) != taxonomy.MarkGood {
+		if err := tree.MarkGood(node.ID); err != nil {
+			return nil, err
+		}
+	}
+	examples := classifier.Examples{}
+	for _, leaf := range tree.Leaves() {
+		examples[leaf.ID] = web.ExampleDocs(leaf.ID, 25)
+	}
+	model, err := classifier.Train(db, tree, examples, classifier.TrainConfig{})
+	if err != nil {
+		return nil, err
+	}
+	cr, err := crawler.New(db, model, core.NewFetcher(web), crawler.Config{
+		Workers:       8,
+		MaxFetches:    cfg.CrawlBudget,
+		SkipDocuments: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := cr.Seed(web.Seeds(node.ID, 25)); err != nil {
+		return nil, err
+	}
+	if _, err := cr.Run(); err != nil {
+		return nil, err
+	}
+
+	out := &DistillerPerfResult{Edges: cr.Link().Rows()}
+	dcfg := distiller.Config{Iterations: cfg.Iterations}
+	disk.SetLatency(cfg.DiskLatency)
+	defer disk.SetLatency(0)
+
+	disk.Stats().Reset()
+	out.IndexWalk, err = distiller.RunIndexWalk(db, cr.Tables(), dcfg)
+	if err != nil {
+		return nil, err
+	}
+	out.WalkReads, _ = disk.Stats().Snapshot()
+
+	disk.Stats().Reset()
+	out.Join, err = distiller.RunJoin(db, cr.Tables(), dcfg)
+	if err != nil {
+		return nil, err
+	}
+	out.JoinReads, _ = disk.Stats().Snapshot()
+	return out, nil
+}
+
+// Render prints the Figure 8(d) bars with their phase decomposition.
+func (r *DistillerPerfResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 8(d): distillation running time over %d edges\n", r.Edges)
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %10s %10s %12s\n",
+		"variant", "total", "scan", "lookup", "update", "sort", "disk-reads")
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %10s %10s %12d\n", "Index",
+		rnd(r.IndexWalk.Total()), rnd(r.IndexWalk.Scan), rnd(r.IndexWalk.Lookup),
+		rnd(r.IndexWalk.Update), rnd(r.IndexWalk.Sort), r.WalkReads)
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %10s %10s %12d\n", "Join",
+		rnd(r.Join.Total()), rnd(r.Join.Scan), rnd(r.Join.Lookup),
+		rnd(r.Join.Update), rnd(r.Join.Sort), r.JoinReads)
+	if j := r.Join.Total(); j > 0 {
+		fmt.Fprintf(w, "speedup: %.2fx\n", float64(r.IndexWalk.Total())/float64(j))
+	}
+}

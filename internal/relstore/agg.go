@@ -1,0 +1,152 @@
+package relstore
+
+import "bytes"
+
+// AggKind selects an aggregate function for GroupBy.
+type AggKind int
+
+// Supported aggregates.
+const (
+	AggSum AggKind = iota
+	AggCount
+	AggMin
+	AggMax
+)
+
+// AggSpec is one aggregate column: Kind applied to input column Col.
+// AggCount ignores Col.
+type AggSpec struct {
+	Kind AggKind
+	Col  int
+}
+
+type aggState struct {
+	spec    AggSpec
+	n       int64
+	sumF    float64
+	isFloat bool
+	started bool
+	minV    Value
+	maxV    Value
+}
+
+func (a *aggState) add(t Tuple) {
+	a.n++
+	if a.spec.Kind == AggCount {
+		return
+	}
+	v := t[a.spec.Col]
+	if v.IsNull() {
+		return
+	}
+	if !a.started {
+		a.started = true
+		a.isFloat = v.Kind == KFloat64
+		a.minV, a.maxV = v, v
+	}
+	a.sumF += v.Float()
+	if less(v, a.minV) {
+		a.minV = v
+	}
+	if less(a.maxV, v) {
+		a.maxV = v
+	}
+}
+
+func less(a, b Value) bool {
+	return a.Float() < b.Float()
+}
+
+func (a *aggState) result() Value {
+	switch a.spec.Kind {
+	case AggCount:
+		return I64(a.n)
+	case AggSum:
+		if !a.started {
+			return Null()
+		}
+		if a.isFloat {
+			return F64(a.sumF)
+		}
+		return I64(int64(a.sumF))
+	case AggMin:
+		if !a.started {
+			return Null()
+		}
+		return a.minV
+	case AggMax:
+		if !a.started {
+			return Null()
+		}
+		return a.maxV
+	}
+	return Null()
+}
+
+type groupByIter struct {
+	in       Iterator
+	keyFn    func(Tuple) []byte
+	keyCols  []int
+	aggs     []AggSpec
+	pend     Tuple
+	pendKey  []byte
+	pendOK   bool
+	primed   bool
+	finished bool
+}
+
+// GroupBy aggregates an input stream that is already sorted by the grouping
+// key. Output rows are the key columns followed by one column per AggSpec.
+func GroupBy(in Iterator, keyFn func(Tuple) []byte, keyCols []int, aggs []AggSpec) Iterator {
+	return &groupByIter{in: in, keyFn: keyFn, keyCols: keyCols, aggs: aggs}
+}
+
+func (g *groupByIter) Next() (Tuple, bool, error) {
+	if g.finished {
+		return nil, false, nil
+	}
+	if !g.primed {
+		g.primed = true
+		t, ok, err := g.in.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			g.finished = true
+			return nil, false, nil
+		}
+		g.pend, g.pendKey, g.pendOK = t, g.keyFn(t), true
+	}
+	if !g.pendOK {
+		g.finished = true
+		return nil, false, nil
+	}
+	states := make([]aggState, len(g.aggs))
+	for i := range states {
+		states[i].spec = g.aggs[i]
+	}
+	first := g.pend
+	key := g.pendKey
+	for g.pendOK && bytes.Equal(g.pendKey, key) {
+		for i := range states {
+			states[i].add(g.pend)
+		}
+		t, ok, err := g.in.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			g.pendOK = false
+			break
+		}
+		g.pend, g.pendKey = t, g.keyFn(t)
+	}
+	out := make(Tuple, 0, len(g.keyCols)+len(states))
+	for _, c := range g.keyCols {
+		out = append(out, first[c])
+	}
+	for i := range states {
+		out = append(out, states[i].result())
+	}
+	return out, true, nil
+}

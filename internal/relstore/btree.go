@@ -1,0 +1,395 @@
+package relstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// B+tree node page layout:
+//
+//	[0]     flags (bit 0: leaf)
+//	[1:3)   cell count (u16)
+//	[3:7)   next leaf (u32, leaves only)
+//	[7:11)  leftmost child (u32, internal only)
+//	[11+6i: 11+6i+6) slot i: cell offset (u16), key len (u16), val len (u16)
+//
+// Cell bytes (key then value) grow backward from the page end. Internal
+// node values are 4-byte child page IDs; the child at position 0 lives in
+// the header's leftmost-child field, so an internal node with k keys has
+// k+1 children.
+const (
+	btHdr  = 11
+	btSlot = 6
+	// MaxCellLen bounds key+value length so that any two post-split halves
+	// of an overfull page are guaranteed to fit (see btree_test.go).
+	MaxCellLen = 1024
+)
+
+var errCellTooBig = errors.New("relstore: btree cell exceeds MaxCellLen")
+
+type bnode struct {
+	leaf bool
+	next PageID // right sibling (leaf)
+	left PageID // leftmost child (internal)
+	keys [][]byte
+	vals [][]byte
+}
+
+func nodeSize(n *bnode) int {
+	sz := btHdr + len(n.keys)*btSlot
+	for i := range n.keys {
+		sz += len(n.keys[i]) + len(n.vals[i])
+	}
+	return sz
+}
+
+func encodeNode(p []byte, n *bnode) error {
+	if nodeSize(n) > PageSize {
+		return fmt.Errorf("relstore: btree node too big (%d cells, %d bytes)", len(n.keys), nodeSize(n))
+	}
+	var flags byte
+	if n.leaf {
+		flags = 1
+	}
+	p[0] = flags
+	binary.LittleEndian.PutUint16(p[1:], uint16(len(n.keys)))
+	binary.LittleEndian.PutUint32(p[3:], uint32(n.next))
+	binary.LittleEndian.PutUint32(p[7:], uint32(n.left))
+	end := PageSize
+	for i := range n.keys {
+		k, v := n.keys[i], n.vals[i]
+		end -= len(k) + len(v)
+		copy(p[end:], k)
+		copy(p[end+len(k):], v)
+		base := btHdr + i*btSlot
+		binary.LittleEndian.PutUint16(p[base:], uint16(end))
+		binary.LittleEndian.PutUint16(p[base+2:], uint16(len(k)))
+		binary.LittleEndian.PutUint16(p[base+4:], uint16(len(v)))
+	}
+	return nil
+}
+
+func decodeNode(p []byte) *bnode {
+	n := &bnode{
+		leaf: p[0]&1 != 0,
+		next: PageID(binary.LittleEndian.Uint32(p[3:])),
+		left: PageID(binary.LittleEndian.Uint32(p[7:])),
+	}
+	count := int(binary.LittleEndian.Uint16(p[1:]))
+	n.keys = make([][]byte, count)
+	n.vals = make([][]byte, count)
+	for i := 0; i < count; i++ {
+		base := btHdr + i*btSlot
+		off := int(binary.LittleEndian.Uint16(p[base:]))
+		klen := int(binary.LittleEndian.Uint16(p[base+2:]))
+		vlen := int(binary.LittleEndian.Uint16(p[base+4:]))
+		n.keys[i] = append([]byte(nil), p[off:off+klen]...)
+		n.vals[i] = append([]byte(nil), p[off+klen:off+klen+vlen]...)
+	}
+	return n
+}
+
+func encodePID(pid PageID) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(pid))
+	return b[:]
+}
+
+func decodePID(b []byte) PageID { return PageID(binary.LittleEndian.Uint32(b)) }
+
+// childIndex returns which child of internal node n covers key.
+func childIndex(n *bnode, key []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) > 0 })
+}
+
+// childPID returns the i-th child (0 = leftmost) of internal node n.
+func childPID(n *bnode, i int) PageID {
+	if i == 0 {
+		return n.left
+	}
+	return decodePID(n.vals[i-1])
+}
+
+func insertSlice(s [][]byte, i int, v []byte) [][]byte {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeSlice(s [][]byte, i int) [][]byte {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}
+
+func cloneBytes(b []byte) []byte { return append([]byte(nil), b...) }
+
+// BTree is a page-based B+tree over raw byte keys (compare = bytes.Compare).
+// Keys are unique; Insert on an existing key replaces its value. Deletion
+// does not rebalance: underfull (even empty) leaves stay in the chain and
+// are skipped by scans, which is correct and adequate for this system's
+// write patterns (the frontier drains roughly in key order).
+type BTree struct {
+	bp     *BufferPool
+	root   PageID
+	height int
+	size   int64
+}
+
+type btSplit struct {
+	key   []byte
+	right PageID
+}
+
+// NewBTree creates an empty tree.
+func NewBTree(bp *BufferPool) (*BTree, error) {
+	t := &BTree{bp: bp, height: 1}
+	pid, err := t.allocNode(&bnode{leaf: true})
+	if err != nil {
+		return nil, err
+	}
+	t.root = pid
+	return t, nil
+}
+
+// Len returns the number of keys in the tree.
+func (t *BTree) Len() int64 { return t.size }
+
+// Height returns the current tree height in levels.
+func (t *BTree) Height() int { return t.height }
+
+func (t *BTree) readNode(pid PageID) (*bnode, error) {
+	f, err := t.bp.Fetch(pid)
+	if err != nil {
+		return nil, err
+	}
+	n := decodeNode(f.Data())
+	t.bp.Unpin(f, false)
+	return n, nil
+}
+
+func (t *BTree) writeNode(pid PageID, n *bnode) error {
+	f, err := t.bp.Fetch(pid)
+	if err != nil {
+		return err
+	}
+	err = encodeNode(f.Data(), n)
+	t.bp.Unpin(f, true)
+	return err
+}
+
+func (t *BTree) allocNode(n *bnode) (PageID, error) {
+	f, err := t.bp.NewPage()
+	if err != nil {
+		return InvalidPage, err
+	}
+	if err := encodeNode(f.Data(), n); err != nil {
+		t.bp.Unpin(f, true)
+		return InvalidPage, err
+	}
+	pid := f.PID()
+	t.bp.Unpin(f, true)
+	return pid, nil
+}
+
+// Insert stores (key, val), replacing any existing value for key.
+func (t *BTree) Insert(key, val []byte) error {
+	if len(key)+len(val) > MaxCellLen {
+		return errCellTooBig
+	}
+	if len(key) == 0 {
+		return errors.New("relstore: empty btree key")
+	}
+	sp, err := t.insertAt(t.root, key, val)
+	if err != nil {
+		return err
+	}
+	if sp != nil {
+		newRoot := &bnode{
+			left: t.root,
+			keys: [][]byte{sp.key},
+			vals: [][]byte{encodePID(sp.right)},
+		}
+		pid, err := t.allocNode(newRoot)
+		if err != nil {
+			return err
+		}
+		t.root = pid
+		t.height++
+	}
+	return nil
+}
+
+func (t *BTree) insertAt(pid PageID, key, val []byte) (*btSplit, error) {
+	n, err := t.readNode(pid)
+	if err != nil {
+		return nil, err
+	}
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			n.vals[i] = cloneBytes(val)
+		} else {
+			n.keys = insertSlice(n.keys, i, cloneBytes(key))
+			n.vals = insertSlice(n.vals, i, cloneBytes(val))
+			t.size++
+		}
+		if nodeSize(n) <= PageSize {
+			return nil, t.writeNode(pid, n)
+		}
+		return t.splitLeaf(pid, n)
+	}
+	ci := childIndex(n, key)
+	sp, err := t.insertAt(childPID(n, ci), key, val)
+	if err != nil || sp == nil {
+		return nil, err
+	}
+	n.keys = insertSlice(n.keys, ci, sp.key)
+	n.vals = insertSlice(n.vals, ci, encodePID(sp.right))
+	if nodeSize(n) <= PageSize {
+		return nil, t.writeNode(pid, n)
+	}
+	return t.splitInternal(pid, n)
+}
+
+func (t *BTree) splitLeaf(pid PageID, n *bnode) (*btSplit, error) {
+	mid := len(n.keys) / 2
+	right := &bnode{
+		leaf: true,
+		next: n.next,
+		keys: append([][]byte(nil), n.keys[mid:]...),
+		vals: append([][]byte(nil), n.vals[mid:]...),
+	}
+	rpid, err := t.allocNode(right)
+	if err != nil {
+		return nil, err
+	}
+	n.keys = n.keys[:mid]
+	n.vals = n.vals[:mid]
+	n.next = rpid
+	if err := t.writeNode(pid, n); err != nil {
+		return nil, err
+	}
+	return &btSplit{key: cloneBytes(right.keys[0]), right: rpid}, nil
+}
+
+func (t *BTree) splitInternal(pid PageID, n *bnode) (*btSplit, error) {
+	mid := len(n.keys) / 2
+	promote := n.keys[mid]
+	right := &bnode{
+		left: decodePID(n.vals[mid]),
+		keys: append([][]byte(nil), n.keys[mid+1:]...),
+		vals: append([][]byte(nil), n.vals[mid+1:]...),
+	}
+	rpid, err := t.allocNode(right)
+	if err != nil {
+		return nil, err
+	}
+	n.keys = n.keys[:mid]
+	n.vals = n.vals[:mid]
+	if err := t.writeNode(pid, n); err != nil {
+		return nil, err
+	}
+	return &btSplit{key: promote, right: rpid}, nil
+}
+
+// Get returns the value stored for key, if any.
+func (t *BTree) Get(key []byte) ([]byte, bool, error) {
+	pid := t.root
+	for {
+		n, err := t.readNode(pid)
+		if err != nil {
+			return nil, false, err
+		}
+		if n.leaf {
+			i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+			if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+				return n.vals[i], true, nil
+			}
+			return nil, false, nil
+		}
+		pid = childPID(n, childIndex(n, key))
+	}
+}
+
+// Delete removes key from the tree, reporting whether it was present.
+func (t *BTree) Delete(key []byte) (bool, error) {
+	pid := t.root
+	for {
+		n, err := t.readNode(pid)
+		if err != nil {
+			return false, err
+		}
+		if n.leaf {
+			i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+			if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+				n.keys = removeSlice(n.keys, i)
+				n.vals = removeSlice(n.vals, i)
+				t.size--
+				return true, t.writeNode(pid, n)
+			}
+			return false, nil
+		}
+		pid = childPID(n, childIndex(n, key))
+	}
+}
+
+// Scan visits keys in [from, to) in ascending order. Either bound may be nil
+// (unbounded). The key/value slices are owned by the callback.
+func (t *BTree) Scan(from, to []byte, fn func(key, val []byte) (stop bool, err error)) error {
+	pid := t.root
+	for {
+		n, err := t.readNode(pid)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			return t.scanLeaves(pid, n, from, to, fn)
+		}
+		if from == nil {
+			pid = childPID(n, 0)
+		} else {
+			pid = childPID(n, childIndex(n, from))
+		}
+	}
+}
+
+func (t *BTree) scanLeaves(pid PageID, n *bnode, from, to []byte, fn func(k, v []byte) (bool, error)) error {
+	for {
+		start := 0
+		if from != nil {
+			start = sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], from) >= 0 })
+		}
+		for i := start; i < len(n.keys); i++ {
+			if to != nil && bytes.Compare(n.keys[i], to) >= 0 {
+				return nil
+			}
+			stop, err := fn(n.keys[i], n.vals[i])
+			if err != nil || stop {
+				return err
+			}
+		}
+		from = nil
+		pid = n.next
+		if pid == InvalidPage {
+			return nil
+		}
+		var err error
+		n, err = t.readNode(pid)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// First returns the smallest key and its value, if the tree is non-empty.
+func (t *BTree) First() (key, val []byte, ok bool, err error) {
+	err = t.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		key, val, ok = k, v, true
+		return true, nil
+	})
+	return key, val, ok, err
+}

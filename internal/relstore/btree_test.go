@@ -1,0 +1,316 @@
+package relstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key64(i int64) []byte { return EncodeKey(I64(i)) }
+
+func TestBTreeBasic(t *testing.T) {
+	bp := newTestPool(64)
+	tr, err := NewBTree(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert([]byte("b"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tr.Get([]byte("a"))
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("get a = %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := tr.Get([]byte("zz")); ok {
+		t.Fatal("phantom key")
+	}
+	// Replace.
+	if err := tr.Insert([]byte("a"), []byte("one-longer-value")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ = tr.Get([]byte("a"))
+	if !ok || string(v) != "one-longer-value" {
+		t.Fatalf("replaced get = %q", v)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestBTreeSplitsAndOrder(t *testing.T) {
+	bp := newTestPool(256)
+	tr, _ := NewBTree(bp)
+	const n = 5000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		val := fmt.Sprintf("val-%d", i)
+		if err := tr.Insert(key64(int64(i)), []byte(val)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("height = %d, expected splits", tr.Height())
+	}
+	// Full scan must be ordered and complete.
+	var prev []byte
+	count := 0
+	err := tr.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			return true, fmt.Errorf("scan out of order")
+		}
+		prev = append(prev[:0], k...)
+		count++
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("scan count = %d", count)
+	}
+	// Point lookups.
+	for i := 0; i < n; i += 97 {
+		v, ok, err := tr.Get(key64(int64(i)))
+		if err != nil || !ok || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("get %d = %q %v %v", i, v, ok, err)
+		}
+	}
+}
+
+func TestBTreeRangeScan(t *testing.T) {
+	bp := newTestPool(128)
+	tr, _ := NewBTree(bp)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(key64(int64(i)), []byte{byte(i)})
+	}
+	var got []int64
+	err := tr.Scan(key64(100), key64(110), func(k, v []byte) (bool, error) {
+		got = append(got, int64(binary.BigEndian.Uint64(k)^(1<<63)))
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{100, 101, 102, 103, 104, 105, 106, 107, 108, 109}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bp := newTestPool(128)
+	tr, _ := NewBTree(bp)
+	for i := 0; i < 500; i++ {
+		tr.Insert(key64(int64(i)), []byte("x"))
+	}
+	for i := 0; i < 500; i += 2 {
+		ok, err := tr.Delete(key64(int64(i)))
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+	if ok, _ := tr.Delete(key64(0)); ok {
+		t.Fatal("double delete reported present")
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < 500; i++ {
+		_, ok, _ := tr.Get(key64(int64(i)))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("key %d present=%v want %v", i, ok, want)
+		}
+	}
+	// Reinsert deleted keys.
+	for i := 0; i < 500; i += 2 {
+		if err := tr.Insert(key64(int64(i)), []byte("y")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("len after reinsert = %d", tr.Len())
+	}
+}
+
+func TestBTreeFirst(t *testing.T) {
+	bp := newTestPool(64)
+	tr, _ := NewBTree(bp)
+	if _, _, ok, _ := tr.First(); ok {
+		t.Fatal("empty tree has a first key")
+	}
+	tr.Insert(key64(30), []byte("c"))
+	tr.Insert(key64(10), []byte("a"))
+	tr.Insert(key64(20), []byte("b"))
+	k, v, ok, err := tr.First()
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(k, key64(10)) || string(v) != "a" {
+		t.Fatalf("first = %v %q", k, v)
+	}
+	// Drain in priority order, as the crawl frontier does.
+	var order []string
+	for {
+		k, v, ok, err := tr.First()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		order = append(order, string(v))
+		tr.Delete(k)
+	}
+	if got := fmt.Sprint(order); got != "[a b c]" {
+		t.Fatalf("drain order = %v", got)
+	}
+}
+
+func TestBTreeRejectsBadCells(t *testing.T) {
+	bp := newTestPool(64)
+	tr, _ := NewBTree(bp)
+	if err := tr.Insert(nil, []byte("v")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := tr.Insert(make([]byte, 600), make([]byte, 600)); err == nil {
+		t.Fatal("oversize cell accepted")
+	}
+}
+
+func TestBTreeLargeCellsSplitSafely(t *testing.T) {
+	// Cells near MaxCellLen stress the split-fit guarantee.
+	bp := newTestPool(256)
+	tr, _ := NewBTree(bp)
+	val := make([]byte, MaxCellLen-16)
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert(key64(int64(i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	tr.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		if len(v) != len(val) {
+			return true, fmt.Errorf("bad value length %d", len(v))
+		}
+		count++
+		return false, nil
+	})
+	if count != 200 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestBTreeAgainstMapReference(t *testing.T) {
+	bp := newTestPool(512)
+	tr, _ := NewBTree(bp)
+	rng := rand.New(rand.NewSource(42))
+	ref := map[string]string{}
+	for op := 0; op < 20000; op++ {
+		k := key64(int64(rng.Intn(3000)))
+		switch rng.Intn(10) {
+		case 0, 1, 2: // delete
+			ok, err := tr.Delete(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, want := ref[string(k)]
+			if ok != want {
+				t.Fatalf("op %d: delete present=%v want %v", op, ok, want)
+			}
+			delete(ref, string(k))
+		default: // insert/replace
+			v := fmt.Sprintf("v%d", rng.Intn(1000000))
+			if err := tr.Insert(k, []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			ref[string(k)] = v
+		}
+	}
+	if int(tr.Len()) != len(ref) {
+		t.Fatalf("len = %d want %d", tr.Len(), len(ref))
+	}
+	// Verify the whole tree matches the reference via ordered scan.
+	keys := make([]string, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	err := tr.Scan(nil, nil, func(k, v []byte) (bool, error) {
+		if i >= len(keys) {
+			return true, fmt.Errorf("extra key in tree")
+		}
+		if string(k) != keys[i] || string(v) != ref[keys[i]] {
+			return true, fmt.Errorf("mismatch at %d", i)
+		}
+		i++
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(keys) {
+		t.Fatalf("tree missing %d keys", len(keys)-i)
+	}
+}
+
+func TestBTreeQuickStringKeys(t *testing.T) {
+	bp := newTestPool(512)
+	tr, _ := NewBTree(bp)
+	ref := map[string]string{}
+	f := func(k, v string) bool {
+		if len(k) == 0 || len(k)+len(v) > MaxCellLen {
+			return true
+		}
+		if err := tr.Insert([]byte(k), []byte(v)); err != nil {
+			return false
+		}
+		ref[k] = v
+		got, ok, err := tr.Get([]byte(k))
+		return err == nil && ok && string(got) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range ref {
+		got, ok, err := tr.Get([]byte(k))
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("lost key %q", k)
+		}
+	}
+}
+
+func TestBTreeSurvivesTinyPool(t *testing.T) {
+	// The tree must work through heavy eviction with only 4 frames.
+	bp := newTestPool(4)
+	tr, _ := NewBTree(bp)
+	for i := 0; i < 2000; i++ {
+		if err := tr.Insert(key64(int64(i)), []byte("payload-of-some-size")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2000; i += 131 {
+		_, ok, err := tr.Get(key64(int64(i)))
+		if err != nil || !ok {
+			t.Fatalf("get %d: %v %v", i, ok, err)
+		}
+	}
+	if bp.Stats().Evictions == 0 {
+		t.Fatal("expected evictions with tiny pool")
+	}
+}

@@ -1,0 +1,283 @@
+package relstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ReplacementPolicy selects the buffer pool's victim strategy.
+type ReplacementPolicy int
+
+// Available replacement policies. Clock is the default; LRU exists for the
+// ablation benchmark on classifier probe locality.
+const (
+	PolicyClock ReplacementPolicy = iota
+	PolicyLRU
+)
+
+// ErrPoolExhausted is returned when every frame is pinned and a new page is
+// needed. It indicates an iterator leak or an absurdly small pool.
+var ErrPoolExhausted = errors.New("relstore: buffer pool exhausted (all frames pinned)")
+
+// Frame is a buffer-pool slot holding one page image. Callers receive a
+// pinned *Frame from Fetch/NewPage and must Unpin it exactly once.
+type Frame struct {
+	pid   PageID
+	data  []byte
+	dirty bool
+	pin   int
+	ref   bool  // clock reference bit
+	used  int64 // LRU timestamp
+	valid bool
+}
+
+// PID returns the page this frame currently holds.
+func (f *Frame) PID() PageID { return f.pid }
+
+// Data returns the frame's page image. Valid only while pinned.
+func (f *Frame) Data() []byte { return f.data }
+
+// BufStats aggregates buffer pool activity since the last reset.
+type BufStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// BufferPool caches disk pages in a fixed number of PageSize frames, exactly
+// the structure whose size the paper sweeps in Figure 8(b).
+type BufferPool struct {
+	mu     sync.Mutex
+	disk   DiskManager
+	frames []*Frame
+	table  map[PageID]*Frame
+	hand   int
+	tick   int64
+	policy ReplacementPolicy
+	stats  BufStats
+}
+
+// NewBufferPool creates a pool with the given number of frames (minimum 4).
+func NewBufferPool(disk DiskManager, frames int) *BufferPool {
+	if frames < 4 {
+		frames = 4
+	}
+	bp := &BufferPool{
+		disk:  disk,
+		table: make(map[PageID]*Frame, frames),
+	}
+	bp.frames = make([]*Frame, frames)
+	for i := range bp.frames {
+		bp.frames[i] = &Frame{data: make([]byte, PageSize)}
+	}
+	return bp
+}
+
+// SetPolicy selects the replacement policy (safe before heavy use).
+func (bp *BufferPool) SetPolicy(p ReplacementPolicy) {
+	bp.mu.Lock()
+	bp.policy = p
+	bp.mu.Unlock()
+}
+
+// Disk returns the underlying disk manager.
+func (bp *BufferPool) Disk() DiskManager { return bp.disk }
+
+// NumFrames returns the pool capacity in frames.
+func (bp *BufferPool) NumFrames() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}
+
+// Stats returns a copy of the pool counters.
+func (bp *BufferPool) Stats() BufStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the pool counters.
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	bp.stats = BufStats{}
+	bp.mu.Unlock()
+}
+
+// Fetch pins the frame holding pid, reading it from disk on a miss.
+func (bp *BufferPool) Fetch(pid PageID) (*Frame, error) {
+	bp.mu.Lock()
+	if f, ok := bp.table[pid]; ok {
+		f.pin++
+		f.ref = true
+		bp.tick++
+		f.used = bp.tick
+		bp.stats.Hits++
+		bp.mu.Unlock()
+		return f, nil
+	}
+	bp.stats.Misses++
+	f, err := bp.victimLocked()
+	if err != nil {
+		bp.mu.Unlock()
+		return nil, err
+	}
+	// Reserve the frame for pid before the disk read so a concurrent caller
+	// cannot steal it; the pool mutex is held across the read for simplicity
+	// (the engine is effectively single-writer).
+	f.pid = pid
+	f.valid = true
+	f.dirty = false
+	f.pin = 1
+	f.ref = true
+	bp.tick++
+	f.used = bp.tick
+	bp.table[pid] = f
+	if err := bp.disk.ReadPage(pid, f.data); err != nil {
+		delete(bp.table, pid)
+		f.valid = false
+		f.pin = 0
+		bp.mu.Unlock()
+		return nil, err
+	}
+	bp.mu.Unlock()
+	return f, nil
+}
+
+// NewPage allocates a fresh zeroed page and returns it pinned and dirty.
+func (bp *BufferPool) NewPage() (*Frame, error) {
+	pid, err := bp.disk.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, err := bp.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	f.pid = pid
+	f.valid = true
+	f.dirty = true
+	f.pin = 1
+	f.ref = true
+	bp.tick++
+	f.used = bp.tick
+	bp.table[pid] = f
+	return f, nil
+}
+
+// Unpin releases one pin on f, marking the page dirty if it was modified.
+func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
+	bp.mu.Lock()
+	if f.pin <= 0 {
+		bp.mu.Unlock()
+		panic(fmt.Sprintf("relstore: unpin of unpinned page %d", f.pid))
+	}
+	f.pin--
+	if dirty {
+		f.dirty = true
+	}
+	bp.mu.Unlock()
+}
+
+// victimLocked finds an unpinned frame, flushing it if dirty.
+func (bp *BufferPool) victimLocked() (*Frame, error) {
+	var f *Frame
+	switch bp.policy {
+	case PolicyLRU:
+		var best *Frame
+		for _, c := range bp.frames {
+			if c.pin > 0 {
+				continue
+			}
+			if !c.valid {
+				best = c
+				break
+			}
+			if best == nil || c.used < best.used {
+				best = c
+			}
+		}
+		f = best
+	default: // clock
+		n := len(bp.frames)
+		for i := 0; i < 2*n+1; i++ {
+			c := bp.frames[bp.hand]
+			bp.hand = (bp.hand + 1) % n
+			if c.pin > 0 {
+				continue
+			}
+			if !c.valid {
+				f = c
+				break
+			}
+			if c.ref {
+				c.ref = false
+				continue
+			}
+			f = c
+			break
+		}
+	}
+	if f == nil {
+		return nil, ErrPoolExhausted
+	}
+	if f.valid {
+		bp.stats.Evictions++
+		if f.dirty {
+			if err := bp.disk.WritePage(f.pid, f.data); err != nil {
+				return nil, err
+			}
+		}
+		delete(bp.table, f.pid)
+		f.valid = false
+	}
+	return f, nil
+}
+
+// FlushAll writes every dirty resident page back to disk.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if f.valid && f.dirty {
+			if err := bp.disk.WritePage(f.pid, f.data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Resize flushes the pool and rebuilds it with n frames. Used by the
+// Figure 8(b) memory-scaling sweep. All pages must be unpinned.
+func (bp *BufferPool) Resize(n int) error {
+	if n < 4 {
+		n = 4
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if f.pin > 0 {
+			return fmt.Errorf("relstore: resize with pinned page %d", f.pid)
+		}
+		if f.valid && f.dirty {
+			if err := bp.disk.WritePage(f.pid, f.data); err != nil {
+				return err
+			}
+		}
+	}
+	bp.frames = make([]*Frame, n)
+	for i := range bp.frames {
+		bp.frames[i] = &Frame{data: make([]byte, PageSize)}
+	}
+	bp.table = make(map[PageID]*Frame, n)
+	bp.hand = 0
+	return nil
+}

@@ -1,0 +1,210 @@
+package relstore
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestBufferPoolHitMiss(t *testing.T) {
+	disk := NewMemDisk()
+	bp := NewBufferPool(disk, 8)
+	f, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := f.PID()
+	f.Data()[0] = 42
+	bp.Unpin(f, true)
+
+	f2, err := bp.Fetch(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Data()[0] != 42 {
+		t.Fatal("lost write")
+	}
+	bp.Unpin(f2, false)
+	st := bp.Stats()
+	if st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want 1 hit 0 misses", st)
+	}
+}
+
+func TestBufferPoolEvictionWritesDirty(t *testing.T) {
+	disk := NewMemDisk()
+	bp := NewBufferPool(disk, 4)
+	f, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid := f.PID()
+	f.Data()[100] = 7
+	bp.Unpin(f, true)
+
+	// Flood the pool with other pages to force eviction.
+	for i := 0; i < 16; i++ {
+		g, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(g, true)
+	}
+	// Reading the original page back must recover the dirty byte from disk.
+	f2, err := bp.Fetch(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Data()[100] != 7 {
+		t.Fatal("dirty page lost on eviction")
+	}
+	bp.Unpin(f2, false)
+	if bp.Stats().Evictions == 0 {
+		t.Fatal("expected evictions")
+	}
+	if r, _ := disk.Stats().Snapshot(); r == 0 {
+		t.Fatal("expected physical reads")
+	}
+}
+
+func TestBufferPoolPinPreventsEviction(t *testing.T) {
+	disk := NewMemDisk()
+	bp := NewBufferPool(disk, 4)
+	var pinned []*Frame
+	for i := 0; i < 4; i++ {
+		f, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned = append(pinned, f)
+	}
+	if _, err := bp.NewPage(); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("err = %v, want ErrPoolExhausted", err)
+	}
+	bp.Unpin(pinned[2], false)
+	f, err := bp.NewPage()
+	if err != nil {
+		t.Fatalf("after unpin: %v", err)
+	}
+	bp.Unpin(f, false)
+	for i, p := range pinned {
+		if i != 2 {
+			bp.Unpin(p, false)
+		}
+	}
+}
+
+func TestBufferPoolResize(t *testing.T) {
+	disk := NewMemDisk()
+	bp := NewBufferPool(disk, 8)
+	var pids []PageID
+	for i := 0; i < 20; i++ {
+		f, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Data()[0] = byte(i)
+		pids = append(pids, f.PID())
+		bp.Unpin(f, true)
+	}
+	if err := bp.Resize(4); err != nil {
+		t.Fatal(err)
+	}
+	if bp.NumFrames() != 4 {
+		t.Fatalf("frames = %d", bp.NumFrames())
+	}
+	for i, pid := range pids {
+		f, err := bp.Fetch(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data()[0] != byte(i) {
+			t.Fatalf("page %d corrupted after resize", pid)
+		}
+		bp.Unpin(f, false)
+	}
+}
+
+func TestBufferPoolLRUPolicy(t *testing.T) {
+	disk := NewMemDisk()
+	bp := NewBufferPool(disk, 4)
+	bp.SetPolicy(PolicyLRU)
+	var pids []PageID
+	for i := 0; i < 12; i++ {
+		f, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Data()[0] = byte(i + 1)
+		pids = append(pids, f.PID())
+		bp.Unpin(f, true)
+	}
+	for i, pid := range pids {
+		f, err := bp.Fetch(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data()[0] != byte(i+1) {
+			t.Fatalf("LRU pool corrupted page %d", pid)
+		}
+		bp.Unpin(f, false)
+	}
+}
+
+func TestBufferPoolDoubleUnpinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double unpin did not panic")
+		}
+	}()
+	bp := NewBufferPool(NewMemDisk(), 4)
+	f, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(f, false)
+	bp.Unpin(f, false)
+}
+
+func TestFileDisk(t *testing.T) {
+	path := t.TempDir() + "/disk.db"
+	d, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	pid, err := d.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	buf[17] = 99
+	if err := d.WritePage(pid, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := d.ReadPage(pid, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[17] != 99 {
+		t.Fatal("file disk lost data")
+	}
+	if err := d.ReadPage(pid+5, got); err == nil {
+		t.Fatal("read of unallocated page succeeded")
+	}
+	if d.NumPages() != 1 {
+		t.Fatalf("NumPages = %d", d.NumPages())
+	}
+}
+
+func TestMemDiskZeroFill(t *testing.T) {
+	d := NewMemDisk()
+	pid, _ := d.Allocate()
+	buf := make([]byte, PageSize)
+	buf[0] = 0xEE
+	if err := d.ReadPage(pid, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Fatal("never-written page not zero-filled")
+	}
+}

@@ -1,0 +1,210 @@
+package relstore
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PageSize is the fixed on-disk page size. The paper's DB2 configuration
+// used 4 KiB buffer-pool pages, and Figure 8(b)'s x-axis is denominated in
+// 4 KiB pages, so we match it.
+const PageSize = 4096
+
+// PageID names a disk page. Page 0 is reserved as the invalid page so that
+// zeroed bytes decode as "no page".
+type PageID uint32
+
+// InvalidPage is the zero PageID; no real page ever has it.
+const InvalidPage PageID = 0
+
+// IOStats counts physical page operations performed by a DiskManager.
+type IOStats struct {
+	Reads  atomic.Int64
+	Writes atomic.Int64
+}
+
+// Snapshot returns the current counter values.
+func (s *IOStats) Snapshot() (reads, writes int64) {
+	return s.Reads.Load(), s.Writes.Load()
+}
+
+// Reset zeroes the counters.
+func (s *IOStats) Reset() {
+	s.Reads.Store(0)
+	s.Writes.Store(0)
+}
+
+// DiskManager is the page-granular storage device under the buffer pool.
+type DiskManager interface {
+	// ReadPage fills buf (len PageSize) with the page's bytes.
+	ReadPage(pid PageID, buf []byte) error
+	// WritePage persists buf (len PageSize) as the page's bytes.
+	WritePage(pid PageID, buf []byte) error
+	// Allocate reserves a fresh page and returns its ID.
+	Allocate() (PageID, error)
+	// NumPages reports how many pages have been allocated.
+	NumPages() int64
+	// Stats exposes the physical I/O counters.
+	Stats() *IOStats
+	// Close releases underlying resources.
+	Close() error
+}
+
+// MemDisk is an in-memory DiskManager. An optional per-operation latency
+// simulates a spinning disk so that access-path differences show up in wall
+// time as well as in the I/O counters.
+type MemDisk struct {
+	mu      sync.Mutex
+	pages   [][]byte
+	stats   IOStats
+	latency time.Duration
+}
+
+// NewMemDisk returns an empty in-memory disk.
+func NewMemDisk() *MemDisk { return &MemDisk{} }
+
+// SetLatency sets a simulated per-page-I/O delay (0 disables it).
+func (d *MemDisk) SetLatency(l time.Duration) {
+	d.mu.Lock()
+	d.latency = l
+	d.mu.Unlock()
+}
+
+func (d *MemDisk) pause() {
+	if d.latency > 0 {
+		time.Sleep(d.latency)
+	}
+}
+
+// ReadPage implements DiskManager.
+func (d *MemDisk) ReadPage(pid PageID, buf []byte) error {
+	d.mu.Lock()
+	if pid == InvalidPage || int64(pid) > int64(len(d.pages)) {
+		d.mu.Unlock()
+		return fmt.Errorf("relstore: read of unallocated page %d", pid)
+	}
+	src := d.pages[pid-1]
+	if src == nil {
+		for i := range buf {
+			buf[i] = 0
+		}
+	} else {
+		copy(buf, src)
+	}
+	d.mu.Unlock()
+	d.stats.Reads.Add(1)
+	d.pause()
+	return nil
+}
+
+// WritePage implements DiskManager.
+func (d *MemDisk) WritePage(pid PageID, buf []byte) error {
+	d.mu.Lock()
+	if pid == InvalidPage || int64(pid) > int64(len(d.pages)) {
+		d.mu.Unlock()
+		return fmt.Errorf("relstore: write of unallocated page %d", pid)
+	}
+	dst := d.pages[pid-1]
+	if dst == nil {
+		dst = make([]byte, PageSize)
+		d.pages[pid-1] = dst
+	}
+	copy(dst, buf)
+	d.mu.Unlock()
+	d.stats.Writes.Add(1)
+	d.pause()
+	return nil
+}
+
+// Allocate implements DiskManager.
+func (d *MemDisk) Allocate() (PageID, error) {
+	d.mu.Lock()
+	d.pages = append(d.pages, nil)
+	pid := PageID(len(d.pages))
+	d.mu.Unlock()
+	return pid, nil
+}
+
+// NumPages implements DiskManager.
+func (d *MemDisk) NumPages() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(len(d.pages))
+}
+
+// Stats implements DiskManager.
+func (d *MemDisk) Stats() *IOStats { return &d.stats }
+
+// Close implements DiskManager.
+func (d *MemDisk) Close() error { return nil }
+
+// FileDisk is a DiskManager backed by a single operating-system file.
+type FileDisk struct {
+	mu    sync.Mutex
+	f     *os.File
+	n     int64
+	stats IOStats
+}
+
+// OpenFileDisk creates (truncating) a file-backed disk at path.
+func OpenFileDisk(path string) (*FileDisk, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileDisk{f: f}, nil
+}
+
+// ReadPage implements DiskManager.
+func (d *FileDisk) ReadPage(pid PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if pid == InvalidPage || int64(pid) > d.n {
+		return fmt.Errorf("relstore: read of unallocated page %d", pid)
+	}
+	d.stats.Reads.Add(1)
+	_, err := d.f.ReadAt(buf[:PageSize], int64(pid-1)*PageSize)
+	return err
+}
+
+// WritePage implements DiskManager.
+func (d *FileDisk) WritePage(pid PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if pid == InvalidPage || int64(pid) > d.n {
+		return fmt.Errorf("relstore: write of unallocated page %d", pid)
+	}
+	d.stats.Writes.Add(1)
+	_, err := d.f.WriteAt(buf[:PageSize], int64(pid-1)*PageSize)
+	return err
+}
+
+// Allocate implements DiskManager.
+func (d *FileDisk) Allocate() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.n++
+	pid := PageID(d.n)
+	// Extend the file so reads of never-written pages see zeroes.
+	if err := d.f.Truncate(d.n * PageSize); err != nil {
+		d.n--
+		return InvalidPage, err
+	}
+	return pid, nil
+}
+
+// NumPages implements DiskManager.
+func (d *FileDisk) NumPages() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+// Stats implements DiskManager.
+func (d *FileDisk) Stats() *IOStats { return &d.stats }
+
+// Close implements DiskManager.
+func (d *FileDisk) Close() error { return d.f.Close() }

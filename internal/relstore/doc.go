@@ -1,0 +1,26 @@
+// Package relstore is a small page-based relational storage engine. It plays
+// the role that IBM DB2/UDB plays in Chakrabarti, van den Berg and Dom,
+// "Distributed Hypertext Resource Discovery Through Examples" (VLDB 1999):
+// it is not merely a row store but the machine on which the classifier and
+// distiller are expressed as database computations.
+//
+// The engine provides:
+//
+//   - a DiskManager abstraction (in-memory or file-backed) that counts page
+//     reads and writes, so experiments can report I/O rather than only wall
+//     time;
+//   - a BufferPool with a configurable number of 4 KiB frames and clock (or
+//     LRU) replacement — the knob swept by the paper's Figure 8(b);
+//   - slotted-page HeapFiles for table rows;
+//   - a B+tree over order-preserving byte-encoded composite keys, used for
+//     the classifier's BLOB/STAT index probes and for crawl-frontier
+//     priority orders;
+//   - query operators: sequential scan, index scan, external merge sort,
+//     sort-merge inner and left outer joins, and streaming group-by
+//     aggregation — enough to express the bulk classification plan of the
+//     paper's Figure 3 and the distillation plan of Figure 4.
+//
+// The engine is deliberately single-writer: callers (the crawler core)
+// serialize mutating access. Iterators must be drained or abandoned before
+// the underlying tables are mutated.
+package relstore

@@ -1,0 +1,251 @@
+package relstore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Heap page layout:
+//
+//	[0:4)  next page id (u32, 0 = end of chain)
+//	[4:6)  slot count (u16)
+//	[6:8)  freeEnd (u16): records occupy [freeEnd, PageSize)
+//	[8+4i : 8+4i+4) slot i: record offset (u16), record length (u16)
+//
+// A deleted slot has length == delSlot. Records never span pages.
+const (
+	heapHdr     = 8
+	heapSlotLen = 4
+	delSlot     = 0xFFFF
+	// MaxRecordLen is the largest record a heap page (or B+tree cell) holds.
+	MaxRecordLen = PageSize - heapHdr - heapSlotLen
+)
+
+// RID addresses a record: page plus slot.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// IsZero reports whether the RID is the zero value (no record).
+func (r RID) IsZero() bool { return r.Page == InvalidPage && r.Slot == 0 }
+
+// EncodeRID packs the RID into 6 bytes (used as index payload).
+func EncodeRID(r RID) []byte {
+	var b [6]byte
+	binary.LittleEndian.PutUint32(b[:4], uint32(r.Page))
+	binary.LittleEndian.PutUint16(b[4:], r.Slot)
+	return b[:]
+}
+
+// DecodeRID unpacks a 6-byte RID.
+func DecodeRID(b []byte) (RID, error) {
+	if len(b) < 6 {
+		return RID{}, fmt.Errorf("relstore: short RID (%d bytes)", len(b))
+	}
+	return RID{
+		Page: PageID(binary.LittleEndian.Uint32(b[:4])),
+		Slot: binary.LittleEndian.Uint16(b[4:]),
+	}, nil
+}
+
+// HeapFile is an append-oriented chain of slotted pages.
+type HeapFile struct {
+	bp    *BufferPool
+	first PageID
+	last  PageID
+	rows  int64
+}
+
+// NewHeapFile allocates an empty heap file.
+func NewHeapFile(bp *BufferPool) (*HeapFile, error) {
+	f, err := bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	initHeapPage(f.Data())
+	pid := f.PID()
+	bp.Unpin(f, true)
+	return &HeapFile{bp: bp, first: pid, last: pid}, nil
+}
+
+func initHeapPage(p []byte) {
+	binary.LittleEndian.PutUint32(p[0:], uint32(InvalidPage))
+	binary.LittleEndian.PutUint16(p[4:], 0)
+	binary.LittleEndian.PutUint16(p[6:], PageSize)
+}
+
+func heapNext(p []byte) PageID  { return PageID(binary.LittleEndian.Uint32(p[0:])) }
+func heapCount(p []byte) uint16 { return binary.LittleEndian.Uint16(p[4:]) }
+func heapFree(p []byte) uint16  { return binary.LittleEndian.Uint16(p[6:]) }
+
+func heapSlot(p []byte, i uint16) (off, length uint16) {
+	base := heapHdr + int(i)*heapSlotLen
+	return binary.LittleEndian.Uint16(p[base:]), binary.LittleEndian.Uint16(p[base+2:])
+}
+
+func heapSetSlot(p []byte, i uint16, off, length uint16) {
+	base := heapHdr + int(i)*heapSlotLen
+	binary.LittleEndian.PutUint16(p[base:], off)
+	binary.LittleEndian.PutUint16(p[base+2:], length)
+}
+
+// heapRoom reports whether a record of length n fits in the page.
+func heapRoom(p []byte, n int) bool {
+	count := int(heapCount(p))
+	free := int(heapFree(p))
+	return free-(heapHdr+count*heapSlotLen) >= n+heapSlotLen
+}
+
+// Rows returns the live record count.
+func (h *HeapFile) Rows() int64 { return h.rows }
+
+// FirstPage returns the head of the page chain (for diagnostics).
+func (h *HeapFile) FirstPage() PageID { return h.first }
+
+// Insert appends a record and returns its RID.
+func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	if len(rec) > MaxRecordLen {
+		return RID{}, fmt.Errorf("relstore: record too large (%d bytes)", len(rec))
+	}
+	f, err := h.bp.Fetch(h.last)
+	if err != nil {
+		return RID{}, err
+	}
+	p := f.Data()
+	if !heapRoom(p, len(rec)) {
+		nf, err := h.bp.NewPage()
+		if err != nil {
+			h.bp.Unpin(f, false)
+			return RID{}, err
+		}
+		initHeapPage(nf.Data())
+		binary.LittleEndian.PutUint32(p[0:], uint32(nf.PID()))
+		h.bp.Unpin(f, true)
+		h.last = nf.PID()
+		f = nf
+		p = f.Data()
+	}
+	count := heapCount(p)
+	free := heapFree(p)
+	off := free - uint16(len(rec))
+	copy(p[off:], rec)
+	heapSetSlot(p, count, off, uint16(len(rec)))
+	binary.LittleEndian.PutUint16(p[4:], count+1)
+	binary.LittleEndian.PutUint16(p[6:], off)
+	rid := RID{Page: f.PID(), Slot: count}
+	h.bp.Unpin(f, true)
+	h.rows++
+	return rid, nil
+}
+
+// Get returns a copy of the record at rid.
+func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	f, err := h.bp.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.bp.Unpin(f, false)
+	p := f.Data()
+	if rid.Slot >= heapCount(p) {
+		return nil, fmt.Errorf("relstore: RID %v out of range", rid)
+	}
+	off, length := heapSlot(p, rid.Slot)
+	if length == delSlot {
+		return nil, fmt.Errorf("relstore: RID %v deleted", rid)
+	}
+	out := make([]byte, length)
+	copy(out, p[off:int(off)+int(length)])
+	return out, nil
+}
+
+// Update overwrites the record at rid in place. The new record must not be
+// longer than the old one (all row growth in this system happens through
+// delete+insert; the crawl tables only mutate fixed-width columns).
+func (h *HeapFile) Update(rid RID, rec []byte) error {
+	f, err := h.bp.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.bp.Unpin(f, true)
+	p := f.Data()
+	if rid.Slot >= heapCount(p) {
+		return fmt.Errorf("relstore: RID %v out of range", rid)
+	}
+	off, length := heapSlot(p, rid.Slot)
+	if length == delSlot {
+		return fmt.Errorf("relstore: RID %v deleted", rid)
+	}
+	if len(rec) > int(length) {
+		return fmt.Errorf("relstore: update grows record (%d > %d)", len(rec), length)
+	}
+	copy(p[off:], rec)
+	heapSetSlot(p, rid.Slot, off, uint16(len(rec)))
+	return nil
+}
+
+// Delete tombstones the record at rid.
+func (h *HeapFile) Delete(rid RID) error {
+	f, err := h.bp.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.bp.Unpin(f, true)
+	p := f.Data()
+	if rid.Slot >= heapCount(p) {
+		return fmt.Errorf("relstore: RID %v out of range", rid)
+	}
+	_, length := heapSlot(p, rid.Slot)
+	if length == delSlot {
+		return fmt.Errorf("relstore: RID %v already deleted", rid)
+	}
+	heapSetSlot(p, rid.Slot, 0, delSlot)
+	h.rows--
+	return nil
+}
+
+// Scan visits every live record in chain order. fn may return stop=true to
+// end early. The record slice is only valid during the callback.
+func (h *HeapFile) Scan(fn func(rid RID, rec []byte) (stop bool, err error)) error {
+	pid := h.first
+	for pid != InvalidPage {
+		f, err := h.bp.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		p := f.Data()
+		count := heapCount(p)
+		next := heapNext(p)
+		for i := uint16(0); i < count; i++ {
+			off, length := heapSlot(p, i)
+			if length == delSlot {
+				continue
+			}
+			stop, err := fn(RID{Page: pid, Slot: i}, p[off:int(off)+int(length)])
+			if err != nil || stop {
+				h.bp.Unpin(f, false)
+				return err
+			}
+		}
+		h.bp.Unpin(f, false)
+		pid = next
+	}
+	return nil
+}
+
+// Truncate resets the heap file to a single empty page. Old pages are not
+// reclaimed from the disk manager (the distiller rebuilds HUBS/AUTH each
+// iteration; leaked pages only cost simulated disk space).
+func (h *HeapFile) Truncate() error {
+	f, err := h.bp.NewPage()
+	if err != nil {
+		return err
+	}
+	initHeapPage(f.Data())
+	pid := f.PID()
+	h.bp.Unpin(f, true)
+	h.first = pid
+	h.last = pid
+	h.rows = 0
+	return nil
+}

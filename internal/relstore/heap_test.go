@@ -1,0 +1,249 @@
+package relstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func newTestPool(frames int) *BufferPool {
+	return NewBufferPool(NewMemDisk(), frames)
+}
+
+func TestHeapInsertGet(t *testing.T) {
+	bp := newTestPool(16)
+	h, err := NewHeapFile(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := h.Insert([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	if h.Rows() != 1 {
+		t.Fatalf("rows = %d", h.Rows())
+	}
+}
+
+func TestHeapPageOverflowChains(t *testing.T) {
+	bp := newTestPool(16)
+	h, err := NewHeapFile(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, 1000)
+	var rids []RID
+	for i := 0; i < 50; i++ { // ~13 pages
+		rec[0] = byte(i)
+		rid, err := h.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	pages := map[PageID]bool{}
+	for i, rid := range rids {
+		got, err := h.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("record %d corrupted", i)
+		}
+		pages[rid.Page] = true
+	}
+	if len(pages) < 10 {
+		t.Fatalf("expected chaining over many pages, got %d", len(pages))
+	}
+}
+
+func TestHeapUpdateDelete(t *testing.T) {
+	bp := newTestPool(16)
+	h, _ := NewHeapFile(bp)
+	rid, _ := h.Insert([]byte("abcdef"))
+	if err := h.Update(rid, []byte("ABCDEF")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := h.Get(rid)
+	if string(got) != "ABCDEF" {
+		t.Fatalf("got %q", got)
+	}
+	// Shrinking update is allowed.
+	if err := h.Update(rid, []byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = h.Get(rid)
+	if string(got) != "xy" {
+		t.Fatalf("got %q", got)
+	}
+	// Growing update is rejected.
+	if err := h.Update(rid, []byte("0123456789")); err == nil {
+		t.Fatal("growing update accepted")
+	}
+	if err := h.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get(rid); err == nil {
+		t.Fatal("get of deleted record succeeded")
+	}
+	if err := h.Delete(rid); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	if h.Rows() != 0 {
+		t.Fatalf("rows = %d", h.Rows())
+	}
+}
+
+func TestHeapScanSkipsDeleted(t *testing.T) {
+	bp := newTestPool(16)
+	h, _ := NewHeapFile(bp)
+	var rids []RID
+	for i := 0; i < 10; i++ {
+		rid, _ := h.Insert([]byte{byte(i)})
+		rids = append(rids, rid)
+	}
+	for i := 0; i < 10; i += 2 {
+		if err := h.Delete(rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []byte
+	err := h.Scan(func(_ RID, rec []byte) (bool, error) {
+		seen = append(seen, rec[0])
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seen, []byte{1, 3, 5, 7, 9}) {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+func TestHeapScanEarlyStop(t *testing.T) {
+	bp := newTestPool(16)
+	h, _ := NewHeapFile(bp)
+	for i := 0; i < 10; i++ {
+		h.Insert([]byte{byte(i)})
+	}
+	n := 0
+	h.Scan(func(_ RID, _ []byte) (bool, error) {
+		n++
+		return n == 3, nil
+	})
+	if n != 3 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestHeapTruncate(t *testing.T) {
+	bp := newTestPool(16)
+	h, _ := NewHeapFile(bp)
+	for i := 0; i < 100; i++ {
+		h.Insert(make([]byte, 200))
+	}
+	if err := h.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows() != 0 {
+		t.Fatalf("rows = %d", h.Rows())
+	}
+	n := 0
+	h.Scan(func(RID, []byte) (bool, error) { n++; return false, nil })
+	if n != 0 {
+		t.Fatalf("scan saw %d rows after truncate", n)
+	}
+	if _, err := h.Insert([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapRejectsOversizeRecord(t *testing.T) {
+	bp := newTestPool(16)
+	h, _ := NewHeapFile(bp)
+	if _, err := h.Insert(make([]byte, PageSize)); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+}
+
+func TestHeapRandomizedAgainstReference(t *testing.T) {
+	bp := newTestPool(32)
+	h, _ := NewHeapFile(bp)
+	rng := rand.New(rand.NewSource(7))
+	ref := map[RID][]byte{}
+	var live []RID
+	for op := 0; op < 3000; op++ {
+		switch {
+		case len(live) == 0 || rng.Intn(3) != 0:
+			rec := make([]byte, 1+rng.Intn(300))
+			rng.Read(rec)
+			rid, err := h.Insert(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref[rid] = append([]byte(nil), rec...)
+			live = append(live, rid)
+		case rng.Intn(2) == 0:
+			i := rng.Intn(len(live))
+			rid := live[i]
+			old := ref[rid]
+			rec := make([]byte, 1+rng.Intn(len(old)))
+			rng.Read(rec)
+			if err := h.Update(rid, rec); err != nil {
+				t.Fatal(err)
+			}
+			ref[rid] = append([]byte(nil), rec...)
+		default:
+			i := rng.Intn(len(live))
+			rid := live[i]
+			if err := h.Delete(rid); err != nil {
+				t.Fatal(err)
+			}
+			delete(ref, rid)
+			live = append(live[:i], live[i+1:]...)
+		}
+	}
+	if int(h.Rows()) != len(ref) {
+		t.Fatalf("rows = %d, want %d", h.Rows(), len(ref))
+	}
+	seen := 0
+	err := h.Scan(func(rid RID, rec []byte) (bool, error) {
+		want, ok := ref[rid]
+		if !ok {
+			return true, fmt.Errorf("unexpected rid %v", rid)
+		}
+		if !bytes.Equal(rec, want) {
+			return true, fmt.Errorf("rid %v content mismatch", rid)
+		}
+		seen++
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(ref) {
+		t.Fatalf("scan saw %d, want %d", seen, len(ref))
+	}
+}
+
+func TestRIDRoundTrip(t *testing.T) {
+	in := RID{Page: 12345, Slot: 678}
+	out, err := DecodeRID(EncodeRID(in))
+	if err != nil || out != in {
+		t.Fatalf("round trip: %v %v", out, err)
+	}
+	if _, err := DecodeRID([]byte{1, 2}); err == nil {
+		t.Fatal("short RID accepted")
+	}
+	if !(RID{}).IsZero() || (RID{Page: 1}).IsZero() {
+		t.Fatal("IsZero misbehaviour")
+	}
+}

@@ -1,0 +1,165 @@
+package relstore
+
+import "bytes"
+
+// mergeJoinIter implements sort-merge join over two inputs already sorted
+// ascending by their join keys. For each key match it emits the cross
+// product of the equal-key groups. In outer mode, left tuples without a
+// match are emitted once with rightWidth NULL columns appended.
+type mergeJoinIter struct {
+	left, right Iterator
+	lkey, rkey  func(Tuple) []byte
+	outer       bool
+	rightWidth  int
+
+	l      Tuple
+	lk     []byte
+	lok    bool
+	r      Tuple
+	rk     []byte
+	rok    bool
+	primed bool
+
+	group    []Tuple // buffered right tuples sharing groupKey
+	groupKey []byte
+	gi       int // next group element to pair with l
+	matching bool
+}
+
+// MergeJoin joins two key-sorted inputs. lkey/rkey must produce
+// memcmp-comparable keys (use AppendKey). If outer is true the join is a
+// left outer join and unmatched left rows are padded with rightWidth NULLs.
+func MergeJoin(left, right Iterator, lkey, rkey func(Tuple) []byte, outer bool, rightWidth int) Iterator {
+	return &mergeJoinIter{
+		left: left, right: right,
+		lkey: lkey, rkey: rkey,
+		outer: outer, rightWidth: rightWidth,
+	}
+}
+
+func (j *mergeJoinIter) advanceLeft() error {
+	t, ok, err := j.left.Next()
+	if err != nil {
+		return err
+	}
+	j.l, j.lok = t, ok
+	if ok {
+		j.lk = j.lkey(t)
+	}
+	return nil
+}
+
+func (j *mergeJoinIter) advanceRight() error {
+	t, ok, err := j.right.Next()
+	if err != nil {
+		return err
+	}
+	j.r, j.rok = t, ok
+	if ok {
+		j.rk = j.rkey(t)
+	}
+	return nil
+}
+
+func (j *mergeJoinIter) pad(l Tuple) Tuple {
+	out := make(Tuple, 0, len(l)+j.rightWidth)
+	out = append(out, l...)
+	for i := 0; i < j.rightWidth; i++ {
+		out = append(out, Null())
+	}
+	return out
+}
+
+func concat(l, r Tuple) Tuple {
+	out := make(Tuple, 0, len(l)+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}
+
+func (j *mergeJoinIter) Next() (Tuple, bool, error) {
+	if !j.primed {
+		j.primed = true
+		if err := j.advanceLeft(); err != nil {
+			return nil, false, err
+		}
+		if err := j.advanceRight(); err != nil {
+			return nil, false, err
+		}
+	}
+	for {
+		// Emit pending pairs from the buffered right group.
+		if j.matching {
+			if j.gi < len(j.group) {
+				out := concat(j.l, j.group[j.gi])
+				j.gi++
+				return out, true, nil
+			}
+			// Current left row exhausted the group; advance left and see if
+			// it still matches the buffered group key.
+			j.matching = false
+			if err := j.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+			if j.lok && bytes.Equal(j.lk, j.groupKey) {
+				j.gi = 0
+				j.matching = true
+				continue
+			}
+			j.group = nil
+		}
+		if !j.lok {
+			return nil, false, nil
+		}
+		if !j.rok {
+			if j.outer {
+				out := j.pad(j.l)
+				if err := j.advanceLeft(); err != nil {
+					return nil, false, err
+				}
+				return out, true, nil
+			}
+			return nil, false, nil
+		}
+		switch c := bytes.Compare(j.lk, j.rk); {
+		case c < 0:
+			if j.outer {
+				out := j.pad(j.l)
+				if err := j.advanceLeft(); err != nil {
+					return nil, false, err
+				}
+				return out, true, nil
+			}
+			if err := j.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+		case c > 0:
+			if err := j.advanceRight(); err != nil {
+				return nil, false, err
+			}
+		default:
+			// Buffer the full right group for this key.
+			j.groupKey = append([]byte(nil), j.rk...)
+			j.group = j.group[:0]
+			for j.rok && bytes.Equal(j.rk, j.groupKey) {
+				j.group = append(j.group, j.r.Clone())
+				if err := j.advanceRight(); err != nil {
+					return nil, false, err
+				}
+			}
+			j.gi = 0
+			j.matching = true
+		}
+	}
+}
+
+// KeyOfCols returns a key function over the given column positions.
+func KeyOfCols(cols ...int) func(Tuple) []byte {
+	return func(t Tuple) []byte {
+		var key []byte
+		for _, c := range cols {
+			key = AppendKey(key, t[c])
+		}
+		return key
+	}
+}

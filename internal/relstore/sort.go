@@ -1,0 +1,290 @@
+package relstore
+
+import (
+	"bytes"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// External merge sort. Input tuples are encoded with their sort key and
+// spilled to temporary page chains ("runs") through the buffer pool whenever
+// the in-memory workspace exceeds the budget, then merged with a loser heap.
+// Spilling through the pool keeps the I/O counters honest: a sort that does
+// not fit in memory shows up as page writes and reads, just as in the
+// paper's DB2 sort-merge joins.
+
+// DefaultSortMem is the in-memory sort workspace used when callers pass 0.
+const DefaultSortMem = 256 * PageSize
+
+// Temp run page layout: [0:4) next page (u32), [4:6) used bytes (u16),
+// records ([u16 klen][u16 rlen][key][rec]) packed from offset 6.
+const runHdr = 6
+
+type runWriter struct {
+	bp    *BufferPool
+	first PageID
+	cur   PageID
+	buf   []byte
+	off   int
+}
+
+func newRunWriter(bp *BufferPool) (*runWriter, error) {
+	f, err := bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	pid := f.PID()
+	bp.Unpin(f, true)
+	return &runWriter{bp: bp, first: pid, cur: pid, buf: make([]byte, PageSize), off: runHdr}, nil
+}
+
+func (w *runWriter) flush(next PageID) error {
+	binary.LittleEndian.PutUint32(w.buf[0:], uint32(next))
+	binary.LittleEndian.PutUint16(w.buf[4:], uint16(w.off))
+	f, err := w.bp.Fetch(w.cur)
+	if err != nil {
+		return err
+	}
+	copy(f.Data(), w.buf)
+	w.bp.Unpin(f, true)
+	return nil
+}
+
+func (w *runWriter) add(key, rec []byte) error {
+	need := 4 + len(key) + len(rec)
+	if need > PageSize-runHdr {
+		return fmt.Errorf("relstore: sort record too large (%d bytes)", need)
+	}
+	if w.off+need > PageSize {
+		f, err := w.bp.NewPage()
+		if err != nil {
+			return err
+		}
+		next := f.PID()
+		w.bp.Unpin(f, true)
+		if err := w.flush(next); err != nil {
+			return err
+		}
+		w.cur = next
+		for i := range w.buf {
+			w.buf[i] = 0
+		}
+		w.off = runHdr
+	}
+	binary.LittleEndian.PutUint16(w.buf[w.off:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(w.buf[w.off+2:], uint16(len(rec)))
+	copy(w.buf[w.off+4:], key)
+	copy(w.buf[w.off+4+len(key):], rec)
+	w.off += need
+	return nil
+}
+
+func (w *runWriter) finish() (PageID, error) {
+	if err := w.flush(InvalidPage); err != nil {
+		return InvalidPage, err
+	}
+	return w.first, nil
+}
+
+type runReader struct {
+	bp   *BufferPool
+	next PageID
+	buf  []byte
+	used int
+	off  int
+	done bool
+}
+
+func newRunReader(bp *BufferPool, first PageID) *runReader {
+	return &runReader{bp: bp, next: first, buf: make([]byte, PageSize)}
+}
+
+// read returns the next (key, rec) pair; ok=false at end of run. The
+// returned slices alias the reader's buffer and are valid until the next
+// call.
+func (r *runReader) read() (key, rec []byte, ok bool, err error) {
+	for {
+		if r.done {
+			return nil, nil, false, nil
+		}
+		if r.off < r.used {
+			klen := int(binary.LittleEndian.Uint16(r.buf[r.off:]))
+			rlen := int(binary.LittleEndian.Uint16(r.buf[r.off+2:]))
+			key = r.buf[r.off+4 : r.off+4+klen]
+			rec = r.buf[r.off+4+klen : r.off+4+klen+rlen]
+			r.off += 4 + klen + rlen
+			return key, rec, true, nil
+		}
+		if r.next == InvalidPage {
+			r.done = true
+			continue
+		}
+		f, err := r.bp.Fetch(r.next)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		copy(r.buf, f.Data())
+		r.bp.Unpin(f, false)
+		r.next = PageID(binary.LittleEndian.Uint32(r.buf[0:]))
+		r.used = int(binary.LittleEndian.Uint16(r.buf[4:]))
+		r.off = runHdr
+	}
+}
+
+type sortRow struct {
+	key []byte
+	rec []byte
+}
+
+type mergeEntry struct {
+	key []byte
+	rec []byte
+	src int
+}
+
+type mergeHeap []mergeEntry
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return bytes.Compare(h[i].key, h[j].key) < 0 }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeEntry)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type mergeIter struct {
+	schema  *Schema
+	readers []*runReader
+	h       mergeHeap
+}
+
+func (m *mergeIter) Next() (Tuple, bool, error) {
+	if len(m.h) == 0 {
+		return nil, false, nil
+	}
+	top := m.h[0]
+	t, err := DecodeTuple(m.schema, top.rec)
+	if err != nil {
+		return nil, false, err
+	}
+	k, rec, ok, err := m.readers[top.src].read()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		m.h[0] = mergeEntry{key: cloneBytes(k), rec: cloneBytes(rec), src: top.src}
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+	return t, true, nil
+}
+
+// SortTuples sorts the input stream by the byte key produced by keyFn, using
+// at most memBytes of workspace before spilling runs to disk (0 means
+// DefaultSortMem). The input must consist of tuples matching schema.
+func SortTuples(bp *BufferPool, schema *Schema, in Iterator, keyFn func(Tuple) []byte, memBytes int) (Iterator, error) {
+	if memBytes <= 0 {
+		memBytes = DefaultSortMem
+	}
+	var (
+		rows []sortRow
+		used int
+		runs []PageID
+	)
+	spill := func() error {
+		sort.Slice(rows, func(i, j int) bool { return bytes.Compare(rows[i].key, rows[j].key) < 0 })
+		w, err := newRunWriter(bp)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if err := w.add(r.key, r.rec); err != nil {
+				return err
+			}
+		}
+		first, err := w.finish()
+		if err != nil {
+			return err
+		}
+		runs = append(runs, first)
+		rows = rows[:0]
+		used = 0
+		return nil
+	}
+	for {
+		t, ok, err := in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rec, err := EncodeTuple(nil, schema, t)
+		if err != nil {
+			return nil, err
+		}
+		k := keyFn(t)
+		rows = append(rows, sortRow{key: k, rec: rec})
+		used += len(k) + len(rec) + 48
+		if used >= memBytes {
+			if err := spill(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(runs) == 0 {
+		// Fits in memory: no spill, sort and stream directly.
+		sort.Slice(rows, func(i, j int) bool { return bytes.Compare(rows[i].key, rows[j].key) < 0 })
+		out := make([]Tuple, len(rows))
+		for i, r := range rows {
+			t, err := DecodeTuple(schema, r.rec)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = t
+		}
+		return NewSliceIter(out), nil
+	}
+	if len(rows) > 0 {
+		if err := spill(); err != nil {
+			return nil, err
+		}
+	}
+	m := &mergeIter{schema: schema}
+	for i, first := range runs {
+		r := newRunReader(bp, first)
+		k, rec, ok, err := r.read()
+		if err != nil {
+			return nil, err
+		}
+		m.readers = append(m.readers, r)
+		if ok {
+			m.h = append(m.h, mergeEntry{key: cloneBytes(k), rec: cloneBytes(rec), src: i})
+		}
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+// SortByCols sorts by the ascending order-preserving key of the named
+// columns.
+func SortByCols(bp *BufferPool, schema *Schema, in Iterator, memBytes int, cols ...string) (Iterator, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = schema.ColIndex(c)
+	}
+	return SortTuples(bp, schema, in, func(t Tuple) []byte {
+		var key []byte
+		for _, c := range idx {
+			key = AppendKey(key, t[c])
+		}
+		return key
+	}, memBytes)
+}

@@ -1,0 +1,299 @@
+package relstore
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Index is a secondary B+tree mapping Key(tuple) -> RID. Keys must be unique
+// per table (include a unique column such as the row's oid in the key).
+type Index struct {
+	Name string
+	Key  func(Tuple) []byte
+	Tree *BTree
+}
+
+// Lookup returns the RID stored for key.
+func (ix *Index) Lookup(key []byte) (RID, bool, error) {
+	v, ok, err := ix.Tree.Get(key)
+	if err != nil || !ok {
+		return RID{}, ok, err
+	}
+	rid, err := DecodeRID(v)
+	return rid, true, err
+}
+
+// ScanRange visits index entries with key in [from, to).
+func (ix *Index) ScanRange(from, to []byte, fn func(key []byte, rid RID) (bool, error)) error {
+	return ix.Tree.Scan(from, to, func(k, v []byte) (bool, error) {
+		rid, err := DecodeRID(v)
+		if err != nil {
+			return true, err
+		}
+		return fn(k, rid)
+	})
+}
+
+// ScanPrefix visits index entries whose key starts with prefix.
+func (ix *Index) ScanPrefix(prefix []byte, fn func(key []byte, rid RID) (bool, error)) error {
+	return ix.ScanRange(prefix, PrefixSuccessor(prefix), fn)
+}
+
+// First returns the smallest index entry.
+func (ix *Index) First() (key []byte, rid RID, ok bool, err error) {
+	k, v, ok, err := ix.Tree.First()
+	if err != nil || !ok {
+		return nil, RID{}, ok, err
+	}
+	rid, err = DecodeRID(v)
+	return k, rid, true, err
+}
+
+// Table is a heap file plus schema plus any number of indexes.
+type Table struct {
+	Name    string
+	Schema  *Schema
+	db      *DB
+	heap    *HeapFile
+	indexes []*Index
+}
+
+// Heap exposes the underlying heap file (for diagnostics and experiments).
+func (tb *Table) Heap() *HeapFile { return tb.heap }
+
+// Rows returns the live row count.
+func (tb *Table) Rows() int64 { return tb.heap.Rows() }
+
+// AddIndex creates an index and populates it from existing rows.
+func (tb *Table) AddIndex(name string, key func(Tuple) []byte) (*Index, error) {
+	for _, ix := range tb.indexes {
+		if ix.Name == name {
+			return nil, fmt.Errorf("relstore: index %s already exists on %s", name, tb.Name)
+		}
+	}
+	tree, err := NewBTree(tb.db.pool)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{Name: name, Key: key, Tree: tree}
+	err = tb.Scan(func(rid RID, t Tuple) (bool, error) {
+		return false, tree.Insert(key(t), EncodeRID(rid))
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.indexes = append(tb.indexes, ix)
+	return ix, nil
+}
+
+// DropIndex removes the named index (its pages are leaked to the disk
+// manager, like heap truncation).
+func (tb *Table) DropIndex(name string) {
+	for i, ix := range tb.indexes {
+		if ix.Name == name {
+			tb.indexes = append(tb.indexes[:i], tb.indexes[i+1:]...)
+			return
+		}
+	}
+}
+
+// Index returns the named index or nil.
+func (tb *Table) Index(name string) *Index {
+	for _, ix := range tb.indexes {
+		if ix.Name == name {
+			return ix
+		}
+	}
+	return nil
+}
+
+// Insert adds a row, maintaining all indexes.
+func (tb *Table) Insert(t Tuple) (RID, error) {
+	rec, err := EncodeTuple(nil, tb.Schema, t)
+	if err != nil {
+		return RID{}, err
+	}
+	rid, err := tb.heap.Insert(rec)
+	if err != nil {
+		return RID{}, err
+	}
+	for _, ix := range tb.indexes {
+		if err := ix.Tree.Insert(ix.Key(t), EncodeRID(rid)); err != nil {
+			return RID{}, err
+		}
+	}
+	return rid, nil
+}
+
+// Get decodes the row at rid.
+func (tb *Table) Get(rid RID) (Tuple, error) {
+	rec, err := tb.heap.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeTuple(tb.Schema, rec)
+}
+
+// Update replaces the row at rid, maintaining indexes whose keys changed.
+// The encoded row must not grow (variable-width columns must be unchanged).
+func (tb *Table) Update(rid RID, t Tuple) error {
+	old, err := tb.Get(rid)
+	if err != nil {
+		return err
+	}
+	rec, err := EncodeTuple(nil, tb.Schema, t)
+	if err != nil {
+		return err
+	}
+	if err := tb.heap.Update(rid, rec); err != nil {
+		return err
+	}
+	for _, ix := range tb.indexes {
+		ok, nk := ix.Key(old), ix.Key(t)
+		if !bytes.Equal(ok, nk) {
+			if _, err := ix.Tree.Delete(ok); err != nil {
+				return err
+			}
+			if err := ix.Tree.Insert(nk, EncodeRID(rid)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Delete removes the row at rid and its index entries.
+func (tb *Table) Delete(rid RID) error {
+	old, err := tb.Get(rid)
+	if err != nil {
+		return err
+	}
+	if err := tb.heap.Delete(rid); err != nil {
+		return err
+	}
+	for _, ix := range tb.indexes {
+		if _, err := ix.Tree.Delete(ix.Key(old)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Truncate removes every row (SQL DELETE FROM t). Indexes are rebuilt empty.
+func (tb *Table) Truncate() error {
+	if err := tb.heap.Truncate(); err != nil {
+		return err
+	}
+	for _, ix := range tb.indexes {
+		tree, err := NewBTree(tb.db.pool)
+		if err != nil {
+			return err
+		}
+		ix.Tree = tree
+	}
+	return nil
+}
+
+// Scan visits every row with its RID.
+func (tb *Table) Scan(fn func(rid RID, t Tuple) (bool, error)) error {
+	return tb.heap.Scan(func(rid RID, rec []byte) (bool, error) {
+		t, err := DecodeTuple(tb.Schema, rec)
+		if err != nil {
+			return true, err
+		}
+		return fn(rid, t)
+	})
+}
+
+type tableIter struct {
+	rows []Tuple
+	i    int
+}
+
+// Iter returns a sequential-scan iterator over the table. The scan walks
+// heap pages through the buffer pool up front (so page reads are counted)
+// and then streams decoded rows.
+func (tb *Table) Iter() (Iterator, error) {
+	it := &tableIter{}
+	err := tb.Scan(func(_ RID, t Tuple) (bool, error) {
+		it.rows = append(it.rows, t)
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+func (it *tableIter) Next() (Tuple, bool, error) {
+	if it.i >= len(it.rows) {
+		return nil, false, nil
+	}
+	t := it.rows[it.i]
+	it.i++
+	return t, true, nil
+}
+
+// DB is a catalog of tables sharing one buffer pool and disk.
+type DB struct {
+	disk   DiskManager
+	pool   *BufferPool
+	tables map[string]*Table
+}
+
+// Options configures Open.
+type Options struct {
+	// Disk defaults to a fresh MemDisk.
+	Disk DiskManager
+	// Frames is the buffer-pool size in 4 KiB frames (default 2048 = 8 MiB).
+	Frames int
+}
+
+// Open creates a database instance.
+func Open(o Options) *DB {
+	if o.Disk == nil {
+		o.Disk = NewMemDisk()
+	}
+	if o.Frames == 0 {
+		o.Frames = 2048
+	}
+	return &DB{
+		disk:   o.Disk,
+		pool:   NewBufferPool(o.Disk, o.Frames),
+		tables: make(map[string]*Table),
+	}
+}
+
+// Pool returns the shared buffer pool.
+func (db *DB) Pool() *BufferPool { return db.pool }
+
+// Disk returns the underlying disk manager.
+func (db *DB) Disk() DiskManager { return db.disk }
+
+// CreateTable registers a new empty table.
+func (db *DB) CreateTable(name string, schema *Schema) (*Table, error) {
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("relstore: table %s already exists", name)
+	}
+	heap, err := NewHeapFile(db.pool)
+	if err != nil {
+		return nil, err
+	}
+	tb := &Table{Name: name, Schema: schema, db: db, heap: heap}
+	db.tables[name] = tb
+	return tb, nil
+}
+
+// DropTable removes a table from the catalog (pages are leaked).
+func (db *DB) DropTable(name string) { delete(db.tables, name) }
+
+// Table returns the named table or nil.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// Close flushes the pool and closes the disk.
+func (db *DB) Close() error {
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	return db.disk.Close()
+}

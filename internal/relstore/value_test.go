@@ -1,0 +1,170 @@
+package relstore
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleRoundTrip(t *testing.T) {
+	s := NewSchema(
+		Column{"a", KInt32},
+		Column{"b", KInt64},
+		Column{"c", KFloat64},
+		Column{"d", KString},
+	)
+	in := Tuple{I32(-7), I64(1 << 40), F64(3.25), Str("hello \x00 world")}
+	rec, err := EncodeTuple(nil, s, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeTuple(s, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch: %v != %v", in, out)
+	}
+}
+
+func TestTupleRoundTripQuick(t *testing.T) {
+	s := NewSchema(Column{"i", KInt64}, Column{"f", KFloat64}, Column{"s", KString})
+	f := func(i int64, fl float64, str string) bool {
+		if math.IsNaN(fl) {
+			fl = 0
+		}
+		in := Tuple{I64(i), F64(fl), Str(str)}
+		rec, err := EncodeTuple(nil, s, in)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeTuple(s, rec)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeTupleRejectsMismatch(t *testing.T) {
+	s := NewSchema(Column{"a", KInt32})
+	if _, err := EncodeTuple(nil, s, Tuple{I64(1)}); err == nil {
+		t.Fatal("kind mismatch not rejected")
+	}
+	if _, err := EncodeTuple(nil, s, Tuple{I32(1), I32(2)}); err == nil {
+		t.Fatal("arity mismatch not rejected")
+	}
+	if _, err := EncodeTuple(nil, s, Tuple{Null()}); err == nil {
+		t.Fatal("NULL not rejected")
+	}
+}
+
+func TestKeyOrderInt64(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka, kb := EncodeKey(I64(a)), EncodeKey(I64(b))
+		switch {
+		case a < b:
+			return bytes.Compare(ka, kb) < 0
+		case a > b:
+			return bytes.Compare(ka, kb) > 0
+		default:
+			return bytes.Equal(ka, kb)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyOrderInt32(t *testing.T) {
+	f := func(a, b int32) bool {
+		ka, kb := EncodeKey(I32(a)), EncodeKey(I32(b))
+		return (a < b) == (bytes.Compare(ka, kb) < 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyOrderFloat64(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka, kb := EncodeKey(F64(a)), EncodeKey(F64(b))
+		if a < b {
+			return bytes.Compare(ka, kb) < 0
+		}
+		if a > b {
+			return bytes.Compare(ka, kb) > 0
+		}
+		return true // -0 vs +0 may order either way
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check infinities and extremes.
+	vals := []float64{math.Inf(-1), -1e300, -1, -1e-300, 0, 1e-300, 1, 1e300, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		if bytes.Compare(EncodeKey(F64(vals[i-1])), EncodeKey(F64(vals[i]))) >= 0 {
+			t.Fatalf("float key order broken at %g < %g", vals[i-1], vals[i])
+		}
+	}
+}
+
+func TestKeyOrderString(t *testing.T) {
+	f := func(a, b string) bool {
+		ka, kb := EncodeKey(Str(a)), EncodeKey(Str(b))
+		switch {
+		case a < b:
+			return bytes.Compare(ka, kb) < 0
+		case a > b:
+			return bytes.Compare(ka, kb) > 0
+		default:
+			return bytes.Equal(ka, kb)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyOrderComposite(t *testing.T) {
+	// A composite key must order by the first column, then the second, and a
+	// string column must not bleed into the following column.
+	k1 := EncodeKey(Str("ab"), I64(5))
+	k2 := EncodeKey(Str("ab"), I64(6))
+	k3 := EncodeKey(Str("abc"), I64(0))
+	if !(bytes.Compare(k1, k2) < 0 && bytes.Compare(k2, k3) < 0) {
+		t.Fatal("composite key ordering broken")
+	}
+}
+
+func TestPrefixSuccessor(t *testing.T) {
+	if got := PrefixSuccessor([]byte{1, 2, 3}); !bytes.Equal(got, []byte{1, 2, 4}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := PrefixSuccessor([]byte{1, 0xFF}); !bytes.Equal(got, []byte{2}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := PrefixSuccessor([]byte{0xFF, 0xFF}); got != nil {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if I32(-3).Int() != -3 || I64(9).Float() != 9.0 || !Null().IsNull() {
+		t.Fatal("accessor misbehaviour")
+	}
+	if Str("x").String() != `"x"` || Null().String() != "NULL" {
+		t.Fatal("String() misbehaviour")
+	}
+	if KInt64.String() != "BIGINT" || KString.String() != "VARCHAR" {
+		t.Fatal("kind names")
+	}
+}

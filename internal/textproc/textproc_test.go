@@ -1,0 +1,86 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("The Quick, brown FOX-42 jumps!! over the lazy dog")
+	want := []string{"quick", "brown", "fox", "42", "jumps", "lazy", "dog"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTokenizeDropsStopwordsAndShortTokens(t *testing.T) {
+	got := Tokenize("a I to x yz")
+	if !reflect.DeepEqual(got, []string{"yz"}) {
+		t.Fatalf("got %v", got)
+	}
+	if !IsStopword("the") || IsStopword("bicycle") {
+		t.Fatal("stopword predicate broken")
+	}
+}
+
+func TestTokenizeEmptyAndPunctuation(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if got := Tokenize("!!! ... ???"); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTermIDDeterministicAndSpread(t *testing.T) {
+	if TermID("cycling") != TermID("cycling") {
+		t.Fatal("nondeterministic hash")
+	}
+	seen := map[uint32]string{}
+	words := []string{"cycling", "bicycle", "bike", "gardening", "mutual", "funds", "hiv", "aids"}
+	for _, w := range words {
+		id := TermID(w)
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("collision between %q and %q", prev, w)
+		}
+		seen[id] = w
+	}
+}
+
+func TestTermIDMatchesFNV1a(t *testing.T) {
+	// Known FNV-1a test vectors.
+	if got := TermID(""); got != 2166136261 {
+		t.Fatalf("fnv(\"\") = %d", got)
+	}
+	if got := TermID("a"); got != 0xe40c292c {
+		t.Fatalf("fnv(a) = %#x", got)
+	}
+}
+
+func TestVectorOf(t *testing.T) {
+	v := VectorOf("bike bike ride")
+	if v[TermID("bike")] != 2 || v[TermID("ride")] != 1 {
+		t.Fatalf("v = %v", v)
+	}
+	if v.Length() != 3 {
+		t.Fatalf("length = %d", v.Length())
+	}
+}
+
+func TestVectorOfTokensQuick(t *testing.T) {
+	// The vector's total mass must equal the token count.
+	f := func(tokens []string) bool {
+		clean := make([]string, 0, len(tokens))
+		for _, tok := range tokens {
+			if tok != "" {
+				clean = append(clean, tok)
+			}
+		}
+		v := VectorOfTokens(clean)
+		return v.Length() == int64(len(clean))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

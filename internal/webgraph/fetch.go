@@ -1,0 +1,143 @@
+package webgraph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrNotFound is the permanent fetch failure (dead link / 404).
+var ErrNotFound = errors.New("webgraph: not found")
+
+// ErrTimeout is a transient fetch failure; the crawler may retry.
+var ErrTimeout = errors.New("webgraph: fetch timed out")
+
+// IsTransient reports whether a fetch error is worth retrying.
+func IsTransient(err error) bool { return errors.Is(err, ErrTimeout) }
+
+// FetchResult is what the crawler sees for one fetched page: its text
+// tokens and outgoing link URLs. Nothing else about the synthetic web leaks
+// through this interface.
+type FetchResult struct {
+	URL      string
+	Server   string
+	ServerID int32
+	Tokens   []string
+	Outlinks []string
+}
+
+type fetchState struct {
+	mu       sync.Mutex
+	failRng  *rand.Rand
+	fetches  atomic.Int64
+	timeouts atomic.Int64
+	notFound atomic.Int64
+}
+
+func (s *fetchState) init(cfg Config) {
+	s.failRng = rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
+}
+
+// Fetches returns the number of fetch attempts so far (including failures).
+func (w *Web) Fetches() int64 { return w.fetches.Load() }
+
+// ResetFetches zeroes the fetch counters (between experiments).
+func (w *Web) ResetFetches() {
+	w.fetches.Store(0)
+	w.timeouts.Store(0)
+	w.notFound.Store(0)
+}
+
+// Fetch simulates retrieving a URL over the network. It costs one fetch
+// attempt, may sleep (FetchLatency), may transiently fail (ErrTimeout), and
+// returns ErrNotFound for URLs that do not resolve to a page.
+func (w *Web) Fetch(url string) (*FetchResult, error) {
+	w.fetches.Add(1)
+	if w.Cfg.FetchLatency > 0 {
+		w.mu.Lock()
+		jit := time.Duration(w.failRng.Int63n(int64(w.Cfg.FetchLatency)))
+		w.mu.Unlock()
+		time.Sleep(w.Cfg.FetchLatency/2 + jit)
+	}
+	if w.Cfg.TimeoutRate > 0 {
+		w.mu.Lock()
+		to := w.failRng.Float64() < w.Cfg.TimeoutRate
+		w.mu.Unlock()
+		if to {
+			w.timeouts.Add(1)
+			return nil, ErrTimeout
+		}
+	}
+	idx, ok := w.byURL[url]
+	if !ok {
+		w.notFound.Add(1)
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, url)
+	}
+	p := w.Pages[idx]
+	res := &FetchResult{
+		URL:      p.URL,
+		Server:   p.Server,
+		ServerID: p.ServerID,
+		Tokens:   w.tokensOf(p),
+		Outlinks: make([]string, 0, len(p.Links)+p.Dead),
+	}
+	for _, dst := range p.Links {
+		res.Outlinks = append(res.Outlinks, w.Pages[dst].URL)
+	}
+	for k := 0; k < p.Dead; k++ {
+		// Dead URLs are deterministic per page so retries see the same web.
+		res.Outlinks = append(res.Outlinks,
+			fmt.Sprintf("http://s%03d.web.test/dead%06d-%d", p.ServerID, p.ID, k))
+	}
+	return res, nil
+}
+
+// LinkStats summarizes the graph's citation structure, used to verify the
+// generator honours the paper's radius-1 and radius-2 rules.
+type LinkStats struct {
+	// SameTopicFrac is the fraction of links whose endpoints share a topic
+	// (radius-1: must be far above 1/#topics).
+	SameTopicFrac float64
+	// CondSecondLink is P[page has >=2 links into topic T | it has >=1],
+	// measured over all (page, T) pairs exactly as the paper's Yahoo!
+	// measurement (~45%) is: a page's own topic counts too.
+	CondSecondLink float64
+	// BaseTopicLink is P[a random link lands in a fixed topic T], averaged
+	// over topics — the unconditional baseline the radius-2 rule beats.
+	BaseTopicLink float64
+}
+
+// MeasureLinkStats computes LinkStats over the whole graph.
+func (w *Web) MeasureLinkStats() LinkStats {
+	var links, same int64
+	withOne, withTwo := 0, 0
+	for _, p := range w.Pages {
+		counts := map[int32]int{}
+		for _, dst := range p.Links {
+			links++
+			t := w.Pages[dst].Topic
+			if t == p.Topic {
+				same++
+			}
+			counts[int32(t)]++
+		}
+		for _, c := range counts {
+			withOne++
+			if c >= 2 {
+				withTwo++
+			}
+		}
+	}
+	st := LinkStats{}
+	if links > 0 {
+		st.SameTopicFrac = float64(same) / float64(links)
+		st.BaseTopicLink = 1 / float64(len(w.topicPages))
+	}
+	if withOne > 0 {
+		st.CondSecondLink = float64(withTwo) / float64(withOne)
+	}
+	return st
+}

@@ -1,0 +1,61 @@
+package webgraph
+
+import "focus/internal/taxonomy"
+
+// DefaultTree builds the evaluation taxonomy: a two-level master category
+// list in the spirit of the paper's §3.3 ("about twenty topics ... derived
+// from Yahoo!, such as gardening, mutual funds, cycling, HIV"). The
+// "general" subtree carries the bulk of the web's page mass (news, shopping,
+// portals, ...), so that any one target topic is a small fraction of the
+// whole — the property that makes unfocused crawling hopeless.
+func DefaultTree() *taxonomy.Tree {
+	t := taxonomy.New()
+	add := func(parent *taxonomy.Node, names ...string) {
+		for _, n := range names {
+			t.MustAdd(parent, n)
+		}
+	}
+	rec := t.MustAdd(t.Root, "recreation")
+	add(rec, "cycling", "running", "photography", "boating")
+	health := t.MustAdd(t.Root, "health")
+	add(health, "hiv", "firstaid", "nutrition")
+	biz := t.MustAdd(t.Root, "business")
+	add(biz, "mutualfunds", "stocks", "realestate", "insurance")
+	tech := t.MustAdd(t.Root, "technology")
+	add(tech, "databases", "networking", "programming", "hardware")
+	soc := t.MustAdd(t.Root, "society")
+	add(soc, "environment", "oilgas", "education", "law")
+	gen := t.MustAdd(t.Root, "general")
+	add(gen, "news", "shopping", "portals", "entertainment")
+	return t
+}
+
+// DefaultAffinities is the topic-relatedness map used for cross-topic
+// citation: a page's off-topic links prefer its topic's related topics.
+// cycling→firstaid reproduces the paper's citation-sociology example, and
+// environment→oilgas supports the community-evolution query of §1.
+var DefaultAffinities = map[string][]string{
+	"cycling":       {"firstaid", "running"},
+	"running":       {"cycling", "nutrition"},
+	"photography":   {"entertainment"},
+	"boating":       {"firstaid"},
+	"hiv":           {"nutrition", "firstaid"},
+	"firstaid":      {"hiv", "nutrition"},
+	"nutrition":     {"running"},
+	"mutualfunds":   {"stocks", "insurance"},
+	"stocks":        {"mutualfunds", "news"},
+	"realestate":    {"insurance", "law"},
+	"insurance":     {"realestate", "law"},
+	"databases":     {"programming", "hardware"},
+	"networking":    {"hardware", "programming"},
+	"programming":   {"databases", "networking"},
+	"hardware":      {"networking", "shopping"},
+	"environment":   {"oilgas", "law"},
+	"oilgas":        {"environment", "stocks"},
+	"education":     {"law", "news"},
+	"law":           {"education", "insurance"},
+	"news":          {"portals", "entertainment"},
+	"shopping":      {"portals", "entertainment"},
+	"portals":       {"news", "shopping"},
+	"entertainment": {"news", "photography"},
+}
