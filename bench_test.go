@@ -7,6 +7,7 @@ package focus
 // the same harnesses at full experiment sizes.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -168,6 +169,31 @@ func BenchmarkFig8cOutputScaling(b *testing.B) {
 		a, c := r.Points[0], r.Points[1]
 		b.ReportMetric(float64(a.BulkTotal.Nanoseconds())/float64(a.OutputSize), "ns/out-small")
 		b.ReportMetric(float64(c.BulkTotal.Nanoseconds())/float64(c.OutputSize), "ns/out-large")
+	}
+}
+
+// BenchmarkCrawlWorkers measures sharded-frontier crawl throughput at
+// several worker counts (one host-partitioned frontier shard per worker)
+// over a web with simulated network latency. Pages/sec at workers=8 should
+// be well over 2x the workers=1 figure; the old single-mutex frontier is
+// the workers=1, shards=1 point by construction.
+func BenchmarkCrawlWorkers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := eval.RunCrawlScaling(eval.CrawlScalingConfig{
+					Web:     benchWeb(91, 6000),
+					Budget:  600,
+					Workers: []int{w},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p := r.Points[0]
+				b.ReportMetric(p.PagesPerSec, "pages/sec")
+				b.ReportMetric(float64(p.Visited), "visited")
+			}
+		})
 	}
 }
 

@@ -22,6 +22,7 @@ func main() {
 		seeds   = flag.Int("seeds", 25, "seed URLs")
 		budget  = flag.Int64("budget", 2000, "fetch budget")
 		workers = flag.Int("workers", 8, "crawler threads")
+		shards  = flag.Int("shards", 0, "frontier shards (0 = one per worker)")
 		mode    = flag.String("mode", "soft", "soft | hard | unfocused")
 		distill = flag.Int64("distill", 500, "distill every N visits (0 = off)")
 	)
@@ -48,10 +49,11 @@ func main() {
 		},
 		GoodTopics: []string{*topic},
 		Crawl: crawler.Config{
-			Workers:      *workers,
-			MaxFetches:   *budget,
-			Mode:         m,
-			DistillEvery: *distill,
+			Workers:        *workers,
+			FrontierShards: *shards,
+			MaxFetches:     *budget,
+			Mode:           m,
+			DistillEvery:   *distill,
 		},
 	})
 	if err != nil {

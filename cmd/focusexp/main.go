@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to run: 5, 6, 7, 8a, 8b, 8c, 8d, all")
+		fig     = flag.String("fig", "all", "figure to run: 5, 6, 7, 8a, 8b, 8c, 8d, scale, all")
 		seed    = flag.Int64("seed", 1999, "random seed")
 		pages   = flag.Int("pages", 30000, "synthetic web size for crawl experiments")
 		budget  = flag.Int64("budget", 4000, "fetch budget for crawl experiments")
@@ -127,6 +127,19 @@ func main() {
 		r, err := eval.RunDistillerPerf(eval.DistillerPerfConfig{
 			Web: webCfg, Topic: *topic, CrawlBudget: *budget / 2,
 			Frames: 96, DiskLatency: *latency,
+		})
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+		return nil
+	})
+
+	run("scale", func() error {
+		// Worker scaling of the sharded frontier (not a paper figure: the
+		// paper reports its crawler ran ~30 threads but no scaling study).
+		r, err := eval.RunCrawlScaling(eval.CrawlScalingConfig{
+			Web: webCfg, Topic: *topic, Budget: *budget / 4,
 		})
 		if err != nil {
 			return err

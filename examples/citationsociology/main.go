@@ -48,7 +48,10 @@ func main() {
 
 	// Best-leaf class of every visited page, by oid.
 	classOf := map[int64]taxonomy.NodeID{}
-	crawlTb := sys.Crawler.Crawl()
+	crawlTb, err := sys.Crawler.Crawl()
+	if err != nil {
+		log.Fatal(err)
+	}
 	err = crawlTb.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
 		if int32(t[crawler.CStatus].Int()) == crawler.StatusVisited {
 			classOf[t[crawler.COID].Int()] = taxonomy.NodeID(t[crawler.CKcid].Int())

@@ -10,9 +10,11 @@
 //     drives crawl priorities;
 //   - a distiller (relevance-weighted HITS with nepotism filtering) that
 //     finds hub pages and periodically boosts their unvisited neighbors;
-//   - a multi-threaded crawler whose frontier is a B+tree priority index
-//     over the CRAWL relation, checked out in (numtries ASC, relevance
-//     DESC, serverload ASC) order.
+//   - a multi-threaded crawler whose frontier is host-sharded: the CRAWL
+//     relation is partitioned by server hash into per-worker shards, each
+//     with its own B+tree priority index checked out in (numtries ASC,
+//     relevance DESC, serverload ASC) order, with work stealing between
+//     shards and a stop-the-world snapshot barrier for distillation.
 //
 // Quick start:
 //
@@ -30,8 +32,8 @@
 // hypertext graph calibrated to the radius-1 and radius-2 citation rules
 // the paper's architecture exploits; everything else (storage engine,
 // classifier, distiller, crawler) is implemented as the paper describes.
-// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-// per-figure reproduction results.
+// See DESIGN.md for the full system inventory and the shard architecture;
+// cmd/focusexp and `go test -bench .` regenerate the per-figure results.
 package focus
 
 import (

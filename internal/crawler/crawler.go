@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -32,6 +33,12 @@ type Config struct {
 	// Workers is the number of concurrent fetch threads (default 8; the
 	// paper ran about thirty).
 	Workers int
+	// FrontierShards is the number of host-partitioned frontier shards
+	// (default Workers). Each shard owns its slice of the CRAWL relation
+	// with its own priority index and lock; workers pop from whichever
+	// shard's published head is globally best. 1 reproduces the pre-shard
+	// single-frontier behavior exactly.
+	FrontierShards int
 	// MaxFetches is the fetch-attempt budget; the crawl stops after this
 	// many attempts (default 1000).
 	MaxFetches int64
@@ -56,8 +63,11 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Workers == 0 {
+	if c.Workers <= 0 {
 		c.Workers = 8
+	}
+	if c.FrontierShards <= 0 {
+		c.FrontierShards = c.Workers
 	}
 	if c.MaxFetches == 0 {
 		c.MaxFetches = 1000
@@ -92,34 +102,46 @@ type Result struct {
 	Elapsed   time.Duration
 }
 
-// Crawler owns the crawl state: the CRAWL/LINK/HUBS/AUTH/DOCUMENT relations
-// plus the frontier priority index. All table access serializes through one
-// mutex; fetches (the expensive, high-latency part) run outside it, so
-// workers overlap on network time exactly as the paper's threads do.
+// Crawler owns the crawl state. The CRAWL relation is partitioned by host
+// into FrontierShards shards (see shard.go), each with its own B+tree
+// priority index and mutex, so workers on different shards touch disjoint
+// tables and proceed in parallel; the shared relations (LINK, HUBS, AUTH,
+// DOCUMENT) and the harvest log serialize through the global mutex. Fetches
+// (the expensive, high-latency part) run outside all locks, and so does
+// classification (the model's in-memory statistics are read-only after
+// training).
+//
+// Ordering contract: the paper's checkout order (numtries ASC, relevance
+// DESC, serverload ASC) is preserved *within* each shard; across shards it
+// is approximate — each shard publishes its head's priority key and
+// workers pop from the shard whose head is globally best, so the global
+// order holds up to hint staleness and concurrent checkouts. With
+// FrontierShards=1 the pre-shard global order is reproduced exactly.
+// Distillation takes a stop-the-world barrier (every shard lock, ascending,
+// then the global lock) and runs against a consistent cross-shard snapshot.
 type Crawler struct {
 	cfg     Config
 	db      *relstore.DB
 	model   *classifier.Model
 	fetcher Fetcher
 
-	mu         sync.Mutex
-	crawl      *relstore.Table
-	link       *relstore.Table
-	hubs       *relstore.Table
-	auth       *relstore.Table
-	doc        *relstore.Table
-	frontier   *relstore.Index
-	policy     Policy
-	oidIx      *relstore.Index
-	linkSrcIx  *relstore.Index
-	linkDstIx  *relstore.Index
-	serverSeen map[int32]int32 // lazily maintained per-server URL counts
-	harvest    []HarvestPoint
-	visitSeq   int64
-	insertSeq  int64
-	sinceDist  int64
-	distills   int
-	frontierN  int64
+	shards []*shard
+
+	// mu guards the shared relations, the harvest log, visit sequencing,
+	// distillation state, and the policy. Lock ordering: any one shard
+	// mutex may be held when acquiring mu; never the reverse.
+	mu        sync.Mutex
+	link      *relstore.Table
+	hubs      *relstore.Table
+	auth      *relstore.Table
+	doc       *relstore.Table
+	policy    Policy
+	linkSrcIx *relstore.Index
+	linkDstIx *relstore.Index
+	harvest   []HarvestPoint
+	visitSeq  int64
+	sinceDist int64
+	distills  int
 
 	fetches  atomic.Int64
 	visited  atomic.Int64
@@ -127,34 +149,33 @@ type Crawler struct {
 	dead     atomic.Int64
 	inflight atomic.Int64
 	stop     atomic.Bool
+
+	// checkoutHook, when set before Run, observes every frontier checkout
+	// (shard, row at checkout time) under the shard lock. Test-only.
+	checkoutHook func(*shard, relstore.Tuple)
 }
 
 // New creates a crawler over a fresh set of relations in db. The model must
 // be trained and its taxonomy marked with the crawl's good topics.
 func New(db *relstore.DB, model *classifier.Model, fetcher Fetcher, cfg Config) (*Crawler, error) {
 	c := &Crawler{
-		cfg:        cfg.withDefaults(),
-		db:         db,
-		model:      model,
-		fetcher:    fetcher,
-		serverSeen: make(map[int32]int32),
-		policy:     AggressiveDiscovery(),
+		cfg:     cfg.withDefaults(),
+		db:      db,
+		model:   model,
+		fetcher: fetcher,
+		policy:  AggressiveDiscovery(),
 	}
 	if c.cfg.Mode == ModeUnfocused {
 		c.policy = FIFO()
 	}
+	for i := 0; i < c.cfg.FrontierShards; i++ {
+		sh, err := newShard(db, i, c.policy)
+		if err != nil {
+			return nil, err
+		}
+		c.shards = append(c.shards, sh)
+	}
 	var err error
-	if c.crawl, err = db.CreateTable("CRAWL", CrawlSchema()); err != nil {
-		return nil, err
-	}
-	if c.oidIx, err = c.crawl.AddIndex("oid", func(t relstore.Tuple) []byte {
-		return relstore.EncodeKey(t[COID])
-	}); err != nil {
-		return nil, err
-	}
-	if c.frontier, err = c.crawl.AddIndex("frontier", c.policy.Key); err != nil {
-		return nil, err
-	}
 	if c.link, err = db.CreateTable("LINK", LinkSchema()); err != nil {
 		return nil, err
 	}
@@ -191,13 +212,51 @@ func New(db *relstore.DB, model *classifier.Model, fetcher Fetcher, cfg Config) 
 }
 
 // Tables exposes the crawl relations (for the distiller, monitors, and
-// experiment harnesses).
-func (c *Crawler) Tables() distiller.Tables {
-	return distiller.Tables{Link: c.link, Crawl: c.crawl, Hubs: c.hubs, Auth: c.auth}
+// experiment harnesses). The Crawl table is a freshly materialized
+// cross-shard snapshot taken under the stop-the-world barrier; see Crawl.
+func (c *Crawler) Tables() (distiller.Tables, error) {
+	c.lockAll()
+	defer c.unlockAll()
+	snap, err := c.snapshotCrawlLocked()
+	if err != nil {
+		return distiller.Tables{}, err
+	}
+	return distiller.Tables{Link: c.link, Crawl: snap, Hubs: c.hubs, Auth: c.auth}, nil
 }
 
-// Crawl returns the CRAWL relation.
-func (c *Crawler) Crawl() *relstore.Table { return c.crawl }
+// Crawl materializes and returns a consistent snapshot of the full CRAWL
+// relation, merged across shards into a table named "CRAWL" (with an "oid"
+// index). Each call refreshes the snapshot — and abandons the previous
+// copy's pages, so this is for post-crawl analysis, not polling; rows are
+// copies, so mutating the returned table does not affect the live frontier.
+func (c *Crawler) Crawl() (*relstore.Table, error) {
+	c.lockAll()
+	defer c.unlockAll()
+	return c.snapshotCrawlLocked()
+}
+
+// snapshotCrawlLocked rebuilds the merged CRAWL view table. The barrier
+// must be held, so the copy is a consistent cross-shard snapshot.
+func (c *Crawler) snapshotCrawlLocked() (*relstore.Table, error) {
+	c.db.DropTable("CRAWL")
+	snap, err := c.db.CreateTable("CRAWL", CrawlSchema())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := snap.AddIndex("oid", func(t relstore.Tuple) []byte {
+		return relstore.EncodeKey(t[COID])
+	}); err != nil {
+		return nil, err
+	}
+	err = c.scanAllLocked(func(_ *shard, _ relstore.RID, t relstore.Tuple) (bool, error) {
+		_, err := snap.Insert(t)
+		return false, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
 
 // Link returns the LINK relation.
 func (c *Crawler) Link() *relstore.Table { return c.link }
@@ -208,57 +267,44 @@ func (c *Crawler) Doc() *relstore.Table { return c.doc }
 // Model returns the classifier guiding this crawl.
 func (c *Crawler) Model() *classifier.Model { return c.model }
 
-// SetPolicy swaps the frontier checkout order, rebuilding the priority
-// index — the "policy changed dynamically" capability of §3.1.
+// NumShards returns the frontier shard count.
+func (c *Crawler) NumShards() int { return len(c.shards) }
+
+// SetPolicy swaps the frontier checkout order, rebuilding every shard's
+// priority index under the barrier — the "policy changed dynamically"
+// capability of §3.1.
 func (c *Crawler) SetPolicy(p Policy) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.crawl.DropIndex("frontier")
-	ix, err := c.crawl.AddIndex("frontier", p.Key)
-	if err != nil {
-		return err
+	c.lockAll()
+	defer c.unlockAll()
+	for _, sh := range c.shards {
+		sh.crawl.DropIndex("frontier")
+		ix, err := sh.crawl.AddIndex("frontier", p.Key)
+		if err != nil {
+			return err
+		}
+		sh.frontier = ix
+		sh.policy = p
+		if err := sh.recomputeHeadLocked(); err != nil {
+			return err
+		}
 	}
 	c.policy = p
-	c.frontier = ix
 	return nil
 }
 
-// Seed inserts the start set D(C*) with relevance 1.
+// Seed inserts the start set D(C*) with relevance 1, each URL into its
+// host's home shard.
 func (c *Crawler) Seed(urls []string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	for _, u := range urls {
-		if err := c.insertFrontierLocked(u, 1.0); err != nil {
+		sh := c.shardFor(SIDOf(u))
+		sh.mu.Lock()
+		err := sh.insertFrontierLocked(u, 1.0)
+		sh.mu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-// insertFrontierLocked adds a URL to CRAWL if absent; c.mu must be held.
-func (c *Crawler) insertFrontierLocked(url string, rel float64) error {
-	oid := OIDOf(url)
-	if _, ok, err := c.oidIx.Lookup(relstore.EncodeKey(relstore.I64(oid))); err != nil || ok {
-		return err
-	}
-	sid := SIDOf(url)
-	c.serverSeen[sid]++
-	c.insertSeq++
-	_, err := c.crawl.Insert(relstore.Tuple{
-		relstore.I64(oid),
-		relstore.Str(url),
-		relstore.F64(rel),
-		relstore.I32(0),
-		relstore.I32(c.serverSeen[sid]),
-		relstore.I64(0),
-		relstore.I32(0),
-		relstore.I32(StatusFrontier),
-		relstore.I64(c.insertSeq),
-	})
-	if err == nil {
-		c.frontierN++
-	}
-	return err
 }
 
 // Run executes the crawl until the budget is exhausted or the frontier
@@ -269,9 +315,10 @@ func (c *Crawler) Run() (Result, error) {
 	errCh := make(chan error, c.cfg.Workers)
 	for w := 0; w < c.cfg.Workers; w++ {
 		wg.Add(1)
+		w := w
 		go func() {
 			defer wg.Done()
-			if err := c.worker(); err != nil {
+			if err := c.worker(w); err != nil {
 				errCh <- err
 				c.stop.Store(true)
 			}
@@ -282,12 +329,15 @@ func (c *Crawler) Run() (Result, error) {
 	if err := <-errCh; err != nil {
 		return Result{}, err
 	}
+	c.mu.Lock()
+	distills := c.distills
+	c.mu.Unlock()
 	res := Result{
 		Visited:  c.visited.Load(),
 		Fetches:  c.fetches.Load(),
 		Failed:   c.failed.Load(),
 		Dead:     c.dead.Load(),
-		Distills: c.distills,
+		Distills: distills,
 		Elapsed:  time.Since(start),
 	}
 	res.Stagnated = c.frontierEmpty() &&
@@ -297,9 +347,12 @@ func (c *Crawler) Run() (Result, error) {
 }
 
 func (c *Crawler) frontierEmpty() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.frontierN == 0
+	for _, sh := range c.shards {
+		if sh.frontierN.Load() > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func (c *Crawler) budgetSpent() bool {
@@ -312,28 +365,31 @@ func (c *Crawler) budgetSpent() bool {
 	return false
 }
 
-func (c *Crawler) worker() error {
+func (c *Crawler) worker(w int) error {
+	home := w % len(c.shards)
 	for {
 		if c.stop.Load() || c.budgetSpent() {
 			return nil
 		}
-		rid, row, ok, err := c.checkout()
+		sh, rid, row, ok, err := c.checkout(home)
 		if err != nil {
 			return err
 		}
 		if !ok {
-			// Frontier empty: if no fetch is in flight, the crawl has
-			// stagnated; otherwise wait for in-flight pages to add links.
+			// Every frontier shard is empty: if no fetch is in flight, the
+			// crawl has stagnated; otherwise wait for in-flight pages to
+			// add links. (checkout raised inflight before decrementing the
+			// frontier counter, so a popped-but-not-yet-fetched row can
+			// never be mistaken for stagnation.)
 			if c.inflight.Load() == 0 {
 				return nil
 			}
 			time.Sleep(200 * time.Microsecond)
 			continue
 		}
-		c.inflight.Add(1)
 		c.fetches.Add(1)
 		res, ferr := c.fetcher.Fetch(row[CURL].S)
-		err = c.process(rid, row, res, ferr)
+		err = c.process(sh, rid, row, res, ferr)
 		c.inflight.Add(-1)
 		if err != nil {
 			return err
@@ -341,86 +397,114 @@ func (c *Crawler) worker() error {
 	}
 }
 
-// checkout pops the best frontier row and marks it in flight.
-func (c *Crawler) checkout() (relstore.RID, relstore.Tuple, bool, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	prefix := relstore.EncodeKey(relstore.I32(StatusFrontier))
-	var rid relstore.RID
-	found := false
-	err := c.frontier.ScanPrefix(prefix, func(_ []byte, r relstore.RID) (bool, error) {
-		rid = r
-		found = true
-		return true, nil
-	})
-	if err != nil || !found {
-		return relstore.RID{}, nil, false, err
+// checkout selects the shard whose published frontier-head key is globally
+// best (a lock-free read of every shard's hint) and pops that shard's head.
+// Camping on a fixed home shard instead measurably degrades harvest and
+// coverage quality: topical locality concentrates relevant hosts in a few
+// shards, and workers pinned elsewhere burn budget on junk. The hint may
+// be a step stale under concurrency, so a losing race retries the
+// selection and finally falls back to probing every shard from the
+// worker's home offset.
+func (c *Crawler) checkout(home int) (*shard, relstore.RID, relstore.Tuple, bool, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		var best *shard
+		var bestKey []byte
+		for _, sh := range c.shards {
+			if h := sh.head.Load(); h != nil && (best == nil || bytes.Compare(*h, bestKey) < 0) {
+				best, bestKey = sh, *h
+			}
+		}
+		if best == nil {
+			break
+		}
+		rid, row, ok, err := best.checkout(c.checkoutHook, &c.inflight)
+		if err != nil || ok {
+			return best, rid, row, ok, err
+		}
 	}
-	row, err := c.crawl.Get(rid)
-	if err != nil {
-		return relstore.RID{}, nil, false, err
+	n := len(c.shards)
+	for i := 0; i < n; i++ {
+		sh := c.shards[(home+i)%n]
+		if sh.frontierN.Load() == 0 {
+			continue // cheap skip; insertions recheck
+		}
+		rid, row, ok, err := sh.checkout(c.checkoutHook, &c.inflight)
+		if err != nil || ok {
+			return sh, rid, row, ok, err
+		}
 	}
-	row[CStatus] = relstore.I32(StatusInflight)
-	if err := c.crawl.Update(rid, row); err != nil {
-		return relstore.RID{}, nil, false, err
-	}
-	c.frontierN--
-	return rid, row, true, nil
+	return nil, relstore.RID{}, nil, false, nil
 }
 
 // process classifies a fetched page, persists it, and expands the frontier.
-func (c *Crawler) process(rid relstore.RID, row relstore.Tuple, res *Fetch, ferr error) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	switch {
-	case ferr != nil && errors.Is(ferr, ErrTransient):
+// sh is the shard the row was checked out of (the URL's home shard).
+func (c *Crawler) process(sh *shard, rid relstore.RID, row relstore.Tuple, res *Fetch, ferr error) error {
+	if ferr != nil {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
 		c.failed.Add(1)
-		tries := int32(row[CTries].Int()) + 1
-		row[CTries] = relstore.I32(tries)
-		// Lazily refresh the server-load estimate while we have the row.
-		row[CLoad] = relstore.I32(c.serverSeen[SIDOf(row[CURL].S)])
-		if tries >= c.cfg.MaxRetries {
+		if errors.Is(ferr, ErrTransient) {
+			tries := int32(row[CTries].Int()) + 1
+			row[CTries] = relstore.I32(tries)
+			// Lazily refresh the server-load estimate while we have the row.
+			row[CLoad] = relstore.I32(sh.serverSeen[SIDOf(row[CURL].S)])
+			if tries >= c.cfg.MaxRetries {
+				c.dead.Add(1)
+				row[CStatus] = relstore.I32(StatusDead)
+			} else {
+				row[CStatus] = relstore.I32(StatusFrontier)
+				sh.frontierN.Add(1)
+			}
+		} else {
 			c.dead.Add(1)
 			row[CStatus] = relstore.I32(StatusDead)
-		} else {
-			row[CStatus] = relstore.I32(StatusFrontier)
-			c.frontierN++
 		}
-		return c.crawl.Update(rid, row)
-	case ferr != nil:
-		c.failed.Add(1)
-		c.dead.Add(1)
-		row[CStatus] = relstore.I32(StatusDead)
-		return c.crawl.Update(rid, row)
+		if err := sh.crawl.Update(rid, row); err != nil {
+			return err
+		}
+		if int32(row[CStatus].Int()) == StatusFrontier {
+			sh.improveHeadLocked(sh.policy.Key(row))
+		}
+		return nil
 	}
 
+	// Classification runs outside all locks: the model's statistics are
+	// read-only after training.
 	vec := textproc.VectorOfTokens(res.Tokens)
 	post := c.model.Classify(vec)
 	rel := c.model.Relevance(post)
 	leaf := c.model.BestLeaf(post)
-
-	c.visitSeq++
 	oid := row[COID].Int()
+
+	// Persist the visit: the row update is shard-owned; the harvest log,
+	// DOCUMENT insert, and link-weight refresh are global. Lock order:
+	// shard, then global.
+	sh.mu.Lock()
+	c.mu.Lock()
+	c.visitSeq++
 	row[CRel] = relstore.F64(rel)
 	row[CKcid] = relstore.I32(int32(leaf))
 	row[CLast] = relstore.I64(c.visitSeq)
 	row[CStatus] = relstore.I32(StatusVisited)
-	if err := c.crawl.Update(rid, row); err != nil {
-		return err
-	}
-	c.visited.Add(1)
-	c.harvest = append(c.harvest, HarvestPoint{
-		Seq: c.visitSeq, OID: oid, URL: row[CURL].S,
-		Relevance: rel, Kcid: int32(leaf),
-	})
-	if !c.cfg.SkipDocuments {
-		if err := classifier.InsertDoc(c.doc, oid, vec); err != nil {
-			return err
+	err := sh.crawl.Update(rid, row)
+	if err == nil {
+		c.visited.Add(1)
+		c.harvest = append(c.harvest, HarvestPoint{
+			Seq: c.visitSeq, OID: oid, URL: row[CURL].S,
+			Relevance: rel, Kcid: int32(leaf),
+		})
+		if !c.cfg.SkipDocuments {
+			err = classifier.InsertDoc(c.doc, oid, vec)
 		}
 	}
-	// Now that this page's relevance is known, fix up the forward weights
-	// of links pointing at it (the paper uses triggers for this).
-	if err := c.refreshIncomingWeightsLocked(oid, rel); err != nil {
+	if err == nil {
+		// Now that this page's relevance is known, fix up the forward
+		// weights of links pointing at it (the paper uses triggers).
+		err = c.refreshIncomingWeightsLocked(oid, rel)
+	}
+	c.mu.Unlock()
+	sh.mu.Unlock()
+	if err != nil {
 		return err
 	}
 
@@ -430,57 +514,65 @@ func (c *Crawler) process(rid relstore.RID, row relstore.Tuple, res *Fetch, ferr
 	}
 	if expand {
 		for _, out := range res.Outlinks {
-			if err := c.addLinkLocked(oid, res.ServerID, rel, out); err != nil {
+			if err := c.addLink(oid, res.ServerID, rel, out); err != nil {
 				return err
 			}
 		}
 	}
 
-	c.sinceDist++
-	if c.cfg.DistillEvery > 0 && c.sinceDist >= c.cfg.DistillEvery {
-		c.sinceDist = 0
-		if err := c.distillLocked(); err != nil {
-			return err
+	if c.cfg.DistillEvery > 0 {
+		c.mu.Lock()
+		c.sinceDist++
+		due := c.sinceDist >= c.cfg.DistillEvery
+		if due {
+			c.sinceDist = 0
+		}
+		c.mu.Unlock()
+		if due {
+			return c.distill()
 		}
 	}
 	return nil
 }
 
-// addLinkLocked records (src -> dstURL) and enqueues the target if new.
-func (c *Crawler) addLinkLocked(src int64, sidSrc int32, srcRel float64, dstURL string) error {
+// addLink records (src -> dstURL) and enqueues the target if new. It holds
+// the target's shard lock throughout (so the dst row cannot change under
+// it) and the global lock briefly for the LINK relation.
+func (c *Crawler) addLink(src int64, sidSrc int32, srcRel float64, dstURL string) error {
 	dst := OIDOf(dstURL)
 	if dst == src {
 		return nil
 	}
-	// Dedupe parallel edges.
-	lk := relstore.EncodeKey(relstore.I64(src), relstore.I64(dst))
-	if _, ok, err := c.linkSrcIx.Lookup(lk); err != nil || ok {
-		return err
-	}
 	sidDst := SIDOf(dstURL)
+	sh := c.shardFor(sidDst)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
 	// Forward weight EF[u,v] = relevance(v); until v is classified, the
 	// radius-1 rule makes R(u) the best available estimate. Backward
 	// weight EB[u,v] = relevance(u), known now.
 	fwd := srcRel
-	dstRID, dstKnown, err := c.oidIx.Lookup(relstore.EncodeKey(relstore.I64(dst)))
+	dstRID, dstRow, dstKnown, err := sh.lookupLocked(dst)
 	if err != nil {
 		return err
 	}
-	var dstRow relstore.Tuple
-	if dstKnown {
-		if dstRow, err = c.crawl.Get(dstRID); err != nil {
-			return err
-		}
-		if int32(dstRow[CStatus].Int()) == StatusVisited {
-			fwd = dstRow[CRel].Float()
-		}
+	if dstKnown && int32(dstRow[CStatus].Int()) == StatusVisited {
+		fwd = dstRow[CRel].Float()
+	}
+
+	c.mu.Lock()
+	// Dedupe parallel edges.
+	lk := relstore.EncodeKey(relstore.I64(src), relstore.I64(dst))
+	if _, dup, lerr := c.linkSrcIx.Lookup(lk); lerr != nil || dup {
+		c.mu.Unlock()
+		return lerr
 	}
 	_, err = c.link.Insert(relstore.Tuple{
 		relstore.I64(src), relstore.I32(sidSrc),
 		relstore.I64(dst), relstore.I32(sidDst),
 		relstore.F64(fwd), relstore.F64(srcRel),
 	})
+	c.mu.Unlock()
 	if err != nil {
 		return err
 	}
@@ -491,20 +583,23 @@ func (c *Crawler) addLinkLocked(src int64, sidSrc int32, srcRel float64, dstURL 
 		if c.cfg.Mode == ModeUnfocused {
 			prio = 0 // FIFO order ignores it anyway
 		}
-		return c.insertFrontierLocked(dstURL, prio)
+		return sh.insertFrontierLocked(dstURL, prio)
 	case int32(dstRow[CStatus].Int()) == StatusFrontier && c.cfg.Mode != ModeUnfocused:
 		// Soft focus: a newly discovered relevant citer raises the
 		// target's priority.
 		if srcRel > dstRow[CRel].Float() {
 			dstRow[CRel] = relstore.F64(srcRel)
-			return c.crawl.Update(dstRID, dstRow)
+			if err := sh.crawl.Update(dstRID, dstRow); err != nil {
+				return err
+			}
+			sh.improveHeadLocked(sh.policy.Key(dstRow))
 		}
 	}
 	return nil
 }
 
 // refreshIncomingWeightsLocked sets wgt_fwd = rel on every stored link into
-// oid, now that the true relevance is known.
+// oid, now that the true relevance is known; c.mu must be held.
 func (c *Crawler) refreshIncomingWeightsLocked(oid int64, rel float64) error {
 	type upd struct {
 		rid relstore.RID
@@ -532,12 +627,29 @@ func (c *Crawler) refreshIncomingWeightsLocked(oid int64, rel float64) error {
 	return nil
 }
 
-// distillLocked runs the join-based distiller over the crawl graph and then
-// raises the priority of unvisited pages cited by top-decile hubs, the
-// monitoring workflow shown at the end of §3.7.
-func (c *Crawler) distillLocked() error {
+// distill stops the world (all shard locks, then the global lock), runs the
+// join-based distiller over a consistent cross-shard snapshot of the crawl
+// graph, and then raises the priority of unvisited pages cited by
+// top-decile hubs — the monitoring workflow shown at the end of §3.7.
+// The snapshot is an in-memory oid -> relevance view handed to the
+// distiller's rho filter, not a materialized table (which would abandon
+// O(|CRAWL|) pages on every distill cycle).
+func (c *Crawler) distill() error {
+	c.lockAll()
+	defer c.unlockAll()
 	c.distills++
-	if _, err := distiller.RunJoin(c.db, c.Tables(), c.cfg.Distill); err != nil {
+	rel := make(map[int64]float64)
+	err := c.scanAllLocked(func(_ *shard, _ relstore.RID, t relstore.Tuple) (bool, error) {
+		rel[t[COID].Int()] = t[CRel].Float()
+		return false, nil
+	})
+	if err != nil {
+		return err
+	}
+	dcfg := c.cfg.Distill
+	dcfg.Relevance = rel
+	tb := distiller.Tables{Link: c.link, Hubs: c.hubs, Auth: c.auth}
+	if _, err := distiller.RunJoin(c.db, tb, dcfg); err != nil {
 		return err
 	}
 	if c.cfg.HubNeighborBoost < 0 {
@@ -559,39 +671,41 @@ func (c *Crawler) distillLocked() error {
 	}
 	for _, hub := range tops {
 		prefix := relstore.EncodeKey(relstore.I64(hub))
-		var dsts []int64
+		type target struct {
+			oid int64
+			sid int32
+		}
+		var dsts []target
 		err := c.linkSrcIx.ScanPrefix(prefix, func(_ []byte, rid relstore.RID) (bool, error) {
 			row, err := c.link.Get(rid)
 			if err != nil {
 				return true, err
 			}
 			if row[LSidSrc].Int() != row[LSidDst].Int() {
-				dsts = append(dsts, row[LDst].Int())
+				dsts = append(dsts, target{row[LDst].Int(), int32(row[LSidDst].Int())})
 			}
 			return false, nil
 		})
 		if err != nil {
 			return err
 		}
-		for _, dst := range dsts {
-			rid, ok, err := c.oidIx.Lookup(relstore.EncodeKey(relstore.I64(dst)))
+		for _, d := range dsts {
+			sh := c.shardFor(d.sid)
+			rid, row, ok, err := sh.lookupLocked(d.oid)
 			if err != nil {
 				return err
 			}
 			if !ok {
 				continue
 			}
-			row, err := c.crawl.Get(rid)
-			if err != nil {
-				return err
-			}
 			if int32(row[CStatus].Int()) == StatusFrontier &&
 				row[CTries].Int() == 0 &&
 				row[CRel].Float() < c.cfg.HubNeighborBoost {
 				row[CRel] = relstore.F64(c.cfg.HubNeighborBoost)
-				if err := c.crawl.Update(rid, row); err != nil {
+				if err := sh.crawl.Update(rid, row); err != nil {
 					return err
 				}
+				sh.improveHeadLocked(sh.policy.Key(row))
 			}
 		}
 	}
@@ -605,30 +719,32 @@ func (c *Crawler) HarvestLog() []HarvestPoint {
 	return append([]HarvestPoint(nil), c.harvest...)
 }
 
-// URLOf resolves an oid back to its URL through the CRAWL index.
+// URLOf resolves an oid back to its URL through the shard oid indexes.
 func (c *Crawler) URLOf(oid int64) (string, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	rid, ok, err := c.oidIx.Lookup(relstore.EncodeKey(relstore.I64(oid)))
+	c.lockAll()
+	defer c.unlockAll()
+	_, _, row, ok, err := c.lookupOIDLocked(oid)
 	if err != nil || !ok {
-		return "", false
-	}
-	row, err := c.crawl.Get(rid)
-	if err != nil {
 		return "", false
 	}
 	return row[CURL].S, true
 }
 
-// FrontierSize reports the number of checkable frontier rows.
+// FrontierSize reports the number of checkable frontier rows across all
+// shards.
 func (c *Crawler) FrontierSize() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.frontierN
+	var n int64
+	for _, sh := range c.shards {
+		n += sh.frontierN.Load()
+	}
+	return n
 }
 
 // String describes the crawler state briefly.
 func (c *Crawler) String() string {
-	return fmt.Sprintf("crawler{visited=%d fetches=%d frontier=%d policy=%s}",
-		c.visited.Load(), c.fetches.Load(), c.FrontierSize(), c.policy.Name)
+	c.mu.Lock()
+	name := c.policy.Name
+	c.mu.Unlock()
+	return fmt.Sprintf("crawler{visited=%d fetches=%d frontier=%d shards=%d policy=%s}",
+		c.visited.Load(), c.fetches.Load(), c.FrontierSize(), len(c.shards), name)
 }

@@ -12,6 +12,8 @@ import (
 // the crawl relations exactly as the paper's SQL is. They are what made the
 // DBMS-backed design pleasant to operate: harvest plots, stagnation
 // diagnosis by class census, and the missed-neighbors-of-great-hubs probe.
+// Each query takes the stop-the-world barrier so it sees a consistent
+// cross-shard state even while workers run.
 
 // HarvestBucket is one window of the harvest-rate monitor (the applet's
 // "select minute(lastvisited), avg(exp(relevance))" query, with visit
@@ -28,26 +30,27 @@ func (c *Crawler) HarvestByWindow(window int64) ([]HarvestBucket, error) {
 	if window <= 0 {
 		window = 100
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	it, err := c.crawl.Iter()
+	c.lockAll()
+	defer c.unlockAll()
+	var pairRows []relstore.Tuple
+	err := c.scanAllLocked(func(_ *shard, _ relstore.RID, t relstore.Tuple) (bool, error) {
+		if int32(t[CStatus].Int()) == StatusVisited {
+			pairRows = append(pairRows, relstore.Tuple{
+				relstore.I64(t[CLast].Int() / window),
+				relstore.F64(t[CRel].Float()),
+			})
+		}
+		return false, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	visited := relstore.FilterIter(it, func(t relstore.Tuple) bool {
-		return int32(t[CStatus].Int()) == StatusVisited
-	})
-	pairs := relstore.MapIter(visited, func(t relstore.Tuple) relstore.Tuple {
-		return relstore.Tuple{
-			relstore.I64(t[CLast].Int() / window),
-			relstore.F64(t[CRel].Float()),
-		}
-	})
 	schema := relstore.NewSchema(
 		relstore.Column{Name: "bucket", Kind: relstore.KInt64},
 		relstore.Column{Name: "rel", Kind: relstore.KFloat64},
 	)
-	sorted, err := relstore.SortByCols(c.db.Pool(), schema, pairs, 0, "bucket")
+	sorted, err := relstore.SortByCols(c.db.Pool(), schema,
+		relstore.NewSliceIter(pairRows), 0, "bucket")
 	if err != nil {
 		return nil, err
 	}
@@ -80,10 +83,10 @@ type CensusRow struct {
 // landed in each best-matching class (ascending count, like the paper's
 // "order by cnt").
 func (c *Crawler) CensusByClass() ([]CensusRow, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	counts := make(map[int32]int64)
-	err := c.crawl.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+	err := c.scanAllLocked(func(_ *shard, _ relstore.RID, t relstore.Tuple) (bool, error) {
 		if int32(t[CStatus].Int()) == StatusVisited {
 			counts[int32(t[CKcid].Int())]++
 		}
@@ -119,8 +122,8 @@ type MissedNeighbor struct {
 // MissedNeighbors runs the §3.7 query: URLs with numtries = 0 that are
 // linked from hubs above the given score percentile, across servers.
 func (c *Crawler) MissedNeighbors(percentile float64) ([]MissedNeighbor, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	psi, err := distiller.Percentile(c.hubs, percentile)
 	if err != nil {
 		return nil, err
@@ -140,13 +143,10 @@ func (c *Crawler) MissedNeighbors(percentile float64) ([]MissedNeighbor, error) 
 			if l[LSidSrc].Int() == l[LSidDst].Int() {
 				return false, nil
 			}
-			crid, ok, err := c.oidIx.Lookup(relstore.EncodeKey(relstore.I64(l[LDst].Int())))
+			sh := c.shardFor(int32(l[LSidDst].Int()))
+			_, row, ok, err := sh.lookupLocked(l[LDst].Int())
 			if err != nil || !ok {
 				return err != nil, err
-			}
-			row, err := c.crawl.Get(crid)
-			if err != nil {
-				return true, err
 			}
 			if int32(row[CStatus].Int()) == StatusFrontier && row[CTries].Int() == 0 {
 				out = append(out, MissedNeighbor{
@@ -179,8 +179,8 @@ type ScoredURL struct {
 }
 
 func (c *Crawler) topURLs(tb *relstore.Table, k int) ([]ScoredURL, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	top, err := distiller.Top(tb, k)
 	if err != nil {
 		return nil, err
@@ -188,10 +188,8 @@ func (c *Crawler) topURLs(tb *relstore.Table, k int) ([]ScoredURL, error) {
 	out := make([]ScoredURL, 0, len(top))
 	for _, s := range top {
 		su := ScoredURL{OID: s.OID, Score: s.Score}
-		if rid, ok, err := c.oidIx.Lookup(relstore.EncodeKey(relstore.I64(s.OID))); err == nil && ok {
-			if row, err := c.crawl.Get(rid); err == nil {
-				su.URL = row[CURL].S
-			}
+		if _, _, row, ok, err := c.lookupOIDLocked(s.OID); err == nil && ok {
+			su.URL = row[CURL].S
 		}
 		out = append(out, su)
 	}
@@ -202,10 +200,10 @@ func (c *Crawler) topURLs(tb *relstore.Table, k int) ([]ScoredURL, error) {
 // threshold, plus the set of their servers — the coverage experiment's raw
 // material (§3.5).
 func (c *Crawler) VisitedURLs(minRelevance float64) (urls []string, servers map[string]bool, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	servers = make(map[string]bool)
-	err = c.crawl.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+	err = c.scanAllLocked(func(_ *shard, _ relstore.RID, t relstore.Tuple) (bool, error) {
 		if int32(t[CStatus].Int()) != StatusVisited {
 			return false, nil
 		}

@@ -25,10 +25,11 @@ func classifiedUnder(tree *taxonomy.Tree, c, topic taxonomy.NodeID) bool {
 	return false
 }
 
-// visitedClasses loads oid -> best-leaf class for visited pages.
+// visitedClassesLocked loads oid -> best-leaf class for visited pages
+// across all shards; the barrier (lockAll) must be held.
 func (c *Crawler) visitedClassesLocked() (map[int64]taxonomy.NodeID, error) {
 	out := make(map[int64]taxonomy.NodeID)
-	err := c.crawl.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+	err := c.scanAllLocked(func(_ *shard, _ relstore.RID, t relstore.Tuple) (bool, error) {
 		if int32(t[CStatus].Int()) == StatusVisited {
 			out[t[COID].Int()] = taxonomy.NodeID(t[CKcid].Int())
 		}
@@ -43,8 +44,8 @@ func (c *Crawler) visitedClassesLocked() (map[int64]taxonomy.NodeID, error) {
 // source is classified under topic a and whose target is classified under
 // topic b. Either may be an internal taxonomy node.
 func (c *Crawler) CrossTopicCitations(a, b taxonomy.NodeID) (int64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	classes, err := c.visitedClassesLocked()
 	if err != nil {
 		return 0, err
@@ -74,8 +75,8 @@ type Suspect struct {
 // that are cited by at least minCiters distinct visited pages classified
 // under the off-topic citer topic.
 func (c *Crawler) SpamSuspects(target, citer taxonomy.NodeID, minCiters int) ([]Suspect, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	classes, err := c.visitedClassesLocked()
 	if err != nil {
 		return nil, err
@@ -107,10 +108,8 @@ func (c *Crawler) SpamSuspects(target, citer taxonomy.NodeID, minCiters int) ([]
 			continue
 		}
 		s := Suspect{Citers: len(set)}
-		if rid, ok, err := c.oidIx.Lookup(relstore.EncodeKey(relstore.I64(oid))); err == nil && ok {
-			if row, err := c.crawl.Get(rid); err == nil {
-				s.URL = row[CURL].S
-			}
+		if _, _, row, ok, err := c.lookupOIDLocked(oid); err == nil && ok {
+			s.URL = row[CURL].S
 		}
 		out = append(out, s)
 	}
@@ -129,8 +128,8 @@ func (c *Crawler) SpamSuspects(target, citer taxonomy.NodeID, minCiters int) ([]
 // examples/citationsociology for the lift computation against web-at-large
 // base rates).
 func (c *Crawler) NeighborhoodCensus(topic taxonomy.NodeID) (map[taxonomy.NodeID]int64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	classes, err := c.visitedClassesLocked()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,227 @@
+package crawler
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"focus/internal/relstore"
+)
+
+// A shard owns one host-partition of the CRAWL relation: its own table
+// (named CRAWL#<id>), its own oid hash index, and its own B+tree priority
+// index, all guarded by the shard mutex. Hosts are assigned to shards by
+// hashing the server id (shardFor), so every URL of a server — and therefore
+// that server's serverload accounting — lives in exactly one shard.
+//
+// Lock ordering: a goroutine holds at most one shard mutex at a time and may
+// acquire the crawler's global mutex (LINK/HUBS/AUTH/DOCUMENT, harvest)
+// while holding it. Whole-frontier operations (distillation, policy swaps,
+// monitoring queries) take every shard mutex in ascending id order and the
+// global mutex last — see Crawler.lockAll.
+type shard struct {
+	id     int
+	mu     sync.Mutex
+	crawl  *relstore.Table
+	policy Policy
+
+	oidIx    *relstore.Index
+	frontier *relstore.Index
+
+	// serverSeen counts URLs seen per server id. Because a host maps to
+	// exactly one shard, these counts equal the pre-shard global ones.
+	serverSeen map[int32]int32
+	insertSeq  int64 // per-shard FIFO sequence (cross-shard FIFO is relaxed)
+
+	frontierN atomic.Int64 // checkable frontier rows (read without the lock)
+
+	// head publishes the priority key of this shard's current frontier
+	// head (nil when empty), written only under mu and read lock-free by
+	// checkout's shard selection, which pops from the shard whose head is
+	// globally best. The hint may lag mutations by one checkout; that
+	// bounded staleness only affects which shard is chosen, never the
+	// within-shard order.
+	head atomic.Pointer[[]byte]
+}
+
+// newShard creates the shard's CRAWL partition table and indexes.
+func newShard(db *relstore.DB, id int, policy Policy) (*shard, error) {
+	sh := &shard{id: id, policy: policy, serverSeen: make(map[int32]int32)}
+	var err error
+	if sh.crawl, err = db.CreateTable(fmt.Sprintf("CRAWL#%d", id), CrawlSchema()); err != nil {
+		return nil, err
+	}
+	if sh.oidIx, err = sh.crawl.AddIndex("oid", func(t relstore.Tuple) []byte {
+		return relstore.EncodeKey(t[COID])
+	}); err != nil {
+		return nil, err
+	}
+	if sh.frontier, err = sh.crawl.AddIndex("frontier", policy.Key); err != nil {
+		return nil, err
+	}
+	return sh, nil
+}
+
+// shardFor maps a server id to its home shard. The mapping is a pure
+// function of the sid and the shard count, so a host is stable for the
+// lifetime of a crawl and LINK rows (which carry sid_dst) locate the
+// target's shard without a URL in hand.
+func (c *Crawler) shardFor(sid int32) *shard {
+	return c.shards[int(uint32(sid)%uint32(len(c.shards)))]
+}
+
+// lockAll acquires every shard mutex in ascending id order and then the
+// global mutex — the stop-the-world barrier used by distillation snapshots,
+// policy swaps, and cross-shard monitoring queries.
+func (c *Crawler) lockAll() {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+	}
+	c.mu.Lock()
+}
+
+// unlockAll releases the barrier in reverse order.
+func (c *Crawler) unlockAll() {
+	c.mu.Unlock()
+	for i := len(c.shards) - 1; i >= 0; i-- {
+		c.shards[i].mu.Unlock()
+	}
+}
+
+// insertFrontierLocked adds a URL to the shard's CRAWL partition if absent;
+// sh.mu must be held.
+func (sh *shard) insertFrontierLocked(url string, rel float64) error {
+	oid := OIDOf(url)
+	if _, ok, err := sh.oidIx.Lookup(relstore.EncodeKey(relstore.I64(oid))); err != nil || ok {
+		return err
+	}
+	sid := SIDOf(url)
+	sh.serverSeen[sid]++
+	sh.insertSeq++
+	row := relstore.Tuple{
+		relstore.I64(oid),
+		relstore.Str(url),
+		relstore.F64(rel),
+		relstore.I32(0),
+		relstore.I32(sh.serverSeen[sid]),
+		relstore.I64(0),
+		relstore.I32(0),
+		relstore.I32(StatusFrontier),
+		relstore.I64(sh.insertSeq),
+	}
+	_, err := sh.crawl.Insert(row)
+	if err == nil {
+		sh.frontierN.Add(1)
+		sh.improveHeadLocked(sh.policy.Key(row))
+	}
+	return err
+}
+
+// improveHeadLocked lowers the published head hint to key if it is better;
+// sh.mu must be held. Valid for mutations that can only add rows or raise
+// a row's priority (inserts, retry re-entries, relevance bumps).
+func (sh *shard) improveHeadLocked(key []byte) {
+	if h := sh.head.Load(); h == nil || bytes.Compare(key, *h) < 0 {
+		k := append([]byte(nil), key...)
+		sh.head.Store(&k)
+	}
+}
+
+// recomputeHeadLocked rescans the frontier index for the true head (after
+// a removal or an index rebuild); sh.mu must be held.
+func (sh *shard) recomputeHeadLocked() error {
+	prefix := relstore.EncodeKey(relstore.I32(StatusFrontier))
+	var head *[]byte
+	err := sh.frontier.ScanPrefix(prefix, func(k []byte, _ relstore.RID) (bool, error) {
+		kk := append([]byte(nil), k...)
+		head = &kk
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	sh.head.Store(head)
+	return nil
+}
+
+// checkout pops the shard's best frontier row (in the policy's order) and
+// marks it in flight. Returns ok=false when this shard's frontier is empty.
+// The caller's inflight counter is raised under the shard lock *before*
+// the frontier counter drops, so no observer can see an empty frontier
+// with zero fetches in flight while a popped row awaits its fetch (that
+// window would make idle workers exit as if the crawl had stagnated).
+func (sh *shard) checkout(hook func(*shard, relstore.Tuple), inflight *atomic.Int64) (relstore.RID, relstore.Tuple, bool, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	prefix := relstore.EncodeKey(relstore.I32(StatusFrontier))
+	var rid relstore.RID
+	found := false
+	err := sh.frontier.ScanPrefix(prefix, func(_ []byte, r relstore.RID) (bool, error) {
+		rid = r
+		found = true
+		return true, nil
+	})
+	if err != nil || !found {
+		return relstore.RID{}, nil, false, err
+	}
+	row, err := sh.crawl.Get(rid)
+	if err != nil {
+		return relstore.RID{}, nil, false, err
+	}
+	if hook != nil {
+		hook(sh, row.Clone())
+	}
+	row[CStatus] = relstore.I32(StatusInflight)
+	if err := sh.crawl.Update(rid, row); err != nil {
+		return relstore.RID{}, nil, false, err
+	}
+	inflight.Add(1)
+	sh.frontierN.Add(-1)
+	if err := sh.recomputeHeadLocked(); err != nil {
+		return relstore.RID{}, nil, false, err
+	}
+	return rid, row, true, nil
+}
+
+// lookupLocked finds the row for oid in this shard; sh.mu must be held.
+func (sh *shard) lookupLocked(oid int64) (relstore.RID, relstore.Tuple, bool, error) {
+	rid, ok, err := sh.oidIx.Lookup(relstore.EncodeKey(relstore.I64(oid)))
+	if err != nil || !ok {
+		return relstore.RID{}, nil, false, err
+	}
+	row, err := sh.crawl.Get(rid)
+	if err != nil {
+		return relstore.RID{}, nil, false, err
+	}
+	return rid, row, true, nil
+}
+
+// lookupOIDLocked resolves an oid whose home shard is unknown by probing
+// every shard in turn. The barrier (lockAll) must be held.
+func (c *Crawler) lookupOIDLocked(oid int64) (*shard, relstore.RID, relstore.Tuple, bool, error) {
+	for _, sh := range c.shards {
+		rid, row, ok, err := sh.lookupLocked(oid)
+		if err != nil {
+			return nil, relstore.RID{}, nil, false, err
+		}
+		if ok {
+			return sh, rid, row, true, nil
+		}
+	}
+	return nil, relstore.RID{}, nil, false, nil
+}
+
+// scanAllLocked visits every CRAWL row across all shards. The barrier must
+// be held.
+func (c *Crawler) scanAllLocked(fn func(sh *shard, rid relstore.RID, t relstore.Tuple) (bool, error)) error {
+	for _, sh := range c.shards {
+		err := sh.crawl.Scan(func(rid relstore.RID, t relstore.Tuple) (bool, error) {
+			return fn(sh, rid, t)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

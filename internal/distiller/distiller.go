@@ -46,6 +46,10 @@ type Config struct {
 	// Unweighted ignores wgt_fwd/wgt_rev and uses classic HITS edge weight
 	// 1 (ablation).
 	Unweighted bool
+	// Relevance optionally supplies oid -> relevance directly (e.g. the
+	// crawler's in-memory view of its sharded CRAWL relation), in which
+	// case Tables.Crawl is not consulted for the rho filter and may be nil.
+	Relevance map[int64]float64
 	// SortMem is the external sort workspace for the join strategy.
 	SortMem int
 }

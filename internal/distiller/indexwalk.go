@@ -46,9 +46,13 @@ func walkHalf(tb Tables, cfg Config, fwd bool) (Breakdown, error) {
 	dstIx := dst.Index("oid")
 	var crawlIx *relstore.Index
 	var crawlRelCol int
-	if fwd && tb.Crawl != nil {
+	relOf := cfg.Relevance
+	if fwd && relOf == nil && tb.Crawl != nil {
 		crawlIx = tb.Crawl.Index("oid")
 		crawlRelCol = tb.Crawl.Schema.ColIndex("relevance")
+	}
+	if !fwd {
+		relOf = nil
 	}
 	if err := dst.Truncate(); err != nil {
 		return bd, err
@@ -86,7 +90,12 @@ func walkHalf(tb Tables, cfg Config, fwd bool) (Breakdown, error) {
 		}
 		score := srcRow[1].Float() * w
 		// The forward half checks the authority's relevance against rho.
-		if crawlIx != nil {
+		if relOf != nil {
+			if relOf[to] <= cfg.Rho {
+				bd.Lookup += time.Since(tLook)
+				return false, nil
+			}
+		} else if crawlIx != nil {
 			cRID, ok, err := crawlIx.Lookup(relstore.EncodeKey(relstore.I64(to)))
 			if err != nil {
 				return true, err

@@ -95,12 +95,16 @@ func joinHalf(db *relstore.DB, tb Tables, cfg Config, fwd bool) (Breakdown, erro
 	bd.Scan += time.Since(t0)
 
 	// The forward half admits only authorities with relevance > rho:
-	// a further merge join against CRAWL(oid, relevance).
-	if fwd && tb.Crawl != nil {
+	// a further merge join against CRAWL(oid, relevance), or the caller's
+	// in-memory relevance view when one is supplied.
+	if fwd && (cfg.Relevance != nil || tb.Crawl != nil) {
 		t0 = time.Now()
-		rel, err := relevanceOf(tb.Crawl)
-		if err != nil {
-			return bd, err
+		rel := cfg.Relevance
+		if rel == nil {
+			var err error
+			if rel, err = relevanceOf(tb.Crawl); err != nil {
+				return bd, err
+			}
 		}
 		kept := rows[:0]
 		for _, r := range rows {

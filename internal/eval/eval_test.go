@@ -39,6 +39,10 @@ func TestRunHarvestShape(t *testing.T) {
 		},
 		Seeds:  6,
 		Budget: 700,
+		// One worker makes the crawl order — and so this statistical
+		// shape — deterministic; multi-worker behavior is covered by the
+		// crawler's -race suite and BenchmarkCrawlWorkers.
+		Workers: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -68,6 +72,7 @@ func TestRunCoverageShape(t *testing.T) {
 		},
 		SeedsEach: 12,
 		Budget:    900,
+		Workers:   1, // deterministic crawl order for a shape assertion
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -106,6 +111,7 @@ func TestRunDistanceShape(t *testing.T) {
 		},
 		Seeds:        12,
 		Budget:       900,
+		Workers:      1, // deterministic crawl order for a shape assertion
 		DistillEvery: 300,
 		TopK:         60,
 	})

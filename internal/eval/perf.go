@@ -477,23 +477,163 @@ func RunDistillerPerf(cfg DistillerPerfConfig) (*DistillerPerfResult, error) {
 
 	out := &DistillerPerfResult{Edges: cr.Link().Rows()}
 	dcfg := distiller.Config{Iterations: cfg.Iterations}
+	// Materialize the cross-shard CRAWL snapshot once, before latency and
+	// stats kick in, so both strategies measure pure distillation I/O.
+	tables, err := cr.Tables()
+	if err != nil {
+		return nil, err
+	}
 	disk.SetLatency(cfg.DiskLatency)
 	defer disk.SetLatency(0)
 
 	disk.Stats().Reset()
-	out.IndexWalk, err = distiller.RunIndexWalk(db, cr.Tables(), dcfg)
+	out.IndexWalk, err = distiller.RunIndexWalk(db, tables, dcfg)
 	if err != nil {
 		return nil, err
 	}
 	out.WalkReads, _ = disk.Stats().Snapshot()
 
 	disk.Stats().Reset()
-	out.Join, err = distiller.RunJoin(db, cr.Tables(), dcfg)
+	out.Join, err = distiller.RunJoin(db, tables, dcfg)
 	if err != nil {
 		return nil, err
 	}
 	out.JoinReads, _ = disk.Stats().Snapshot()
 	return out, nil
+}
+
+// CrawlScalingConfig drives the worker-scaling study of the sharded
+// frontier: the same focused crawl run at several worker counts, with
+// simulated network latency so parallelism has real work to overlap (the
+// paper's threads existed to hide exactly this latency).
+type CrawlScalingConfig struct {
+	Web    webgraph.Config
+	Topic  string
+	Seeds  int
+	Budget int64
+	// Workers lists the worker counts to sweep (default 1, 2, 4, 8).
+	// FrontierShards follows Workers, the crawler's default.
+	Workers []int
+	// Shards optionally fixes the shard count across all points (0 keeps
+	// the per-point default of one shard per worker).
+	Shards int
+	// DistillEvery exercises the stop-the-world distill barrier under load
+	// (0 disables it).
+	DistillEvery int64
+}
+
+func (c CrawlScalingConfig) withDefaults() CrawlScalingConfig {
+	if c.Topic == "" {
+		c.Topic = "cycling"
+	}
+	if c.Seeds == 0 {
+		c.Seeds = 20
+	}
+	if c.Budget == 0 {
+		c.Budget = 600
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4, 8}
+	}
+	if c.Web.FetchLatency == 0 {
+		c.Web.FetchLatency = 1500 * time.Microsecond
+	}
+	return c
+}
+
+// CrawlScalingPoint is one worker count's throughput measurement.
+type CrawlScalingPoint struct {
+	Workers     int
+	Shards      int
+	Visited     int64
+	Fetches     int64
+	Elapsed     time.Duration
+	PagesPerSec float64
+}
+
+// CrawlScalingResult carries the sweep plus the headline speedup.
+type CrawlScalingResult struct {
+	Points  []CrawlScalingPoint
+	Speedup float64 // PagesPerSec at the most workers / at the fewest
+}
+
+// RunCrawlScaling measures focused-crawl throughput (visited pages per
+// second) as the worker count grows, one fresh system per point over the
+// same synthetic web.
+func RunCrawlScaling(cfg CrawlScalingConfig) (*CrawlScalingResult, error) {
+	cfg = cfg.withDefaults()
+	web, err := webgraph.Generate(cfg.Web)
+	if err != nil {
+		return nil, err
+	}
+	out := &CrawlScalingResult{}
+	for _, w := range cfg.Workers {
+		web.ResetFetches()
+		tree := web.Cfg.Tree
+		if n := tree.ByName(cfg.Topic); n != nil {
+			tree.Unmark(n.ID)
+		}
+		sys, err := core.NewSystemOnWeb(web, core.Config{
+			GoodTopics: []string{cfg.Topic},
+			Crawl: crawler.Config{
+				Workers:        w,
+				FrontierShards: cfg.Shards,
+				MaxFetches:     cfg.Budget,
+				DistillEvery:   cfg.DistillEvery,
+				SkipDocuments:  true,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.SeedTopic(cfg.Topic, cfg.Seeds); err != nil {
+			return nil, err
+		}
+		res, err := sys.Run()
+		if err != nil {
+			return nil, err
+		}
+		p := CrawlScalingPoint{
+			Workers: w,
+			Shards:  sys.Crawler.NumShards(),
+			Visited: res.Visited,
+			Fetches: res.Fetches,
+			Elapsed: res.Elapsed,
+		}
+		if res.Elapsed > 0 {
+			p.PagesPerSec = float64(res.Visited) / res.Elapsed.Seconds()
+		}
+		out.Points = append(out.Points, p)
+	}
+	if len(out.Points) > 1 {
+		lo, hi := out.Points[0], out.Points[0]
+		for _, p := range out.Points[1:] {
+			if p.Workers < lo.Workers {
+				lo = p
+			}
+			if p.Workers > hi.Workers {
+				hi = p
+			}
+		}
+		if lo.PagesPerSec > 0 {
+			out.Speedup = hi.PagesPerSec / lo.PagesPerSec
+		}
+	}
+	return out, nil
+}
+
+// Render prints the scaling table.
+func (r *CrawlScalingResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Sharded frontier scaling (pages/sec by worker count)\n")
+	fmt.Fprintf(w, "%8s %8s %10s %10s %10s %12s\n",
+		"workers", "shards", "visited", "fetches", "elapsed", "pages/sec")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%8d %8d %10d %10d %10s %12.1f\n",
+			p.Workers, p.Shards, p.Visited, p.Fetches, rnd(p.Elapsed), p.PagesPerSec)
+	}
+	if r.Speedup > 0 {
+		fmt.Fprintf(w, "speedup: %.2fx\n", r.Speedup)
+	}
 }
 
 // Render prints the Figure 8(d) bars with their phase decomposition.

@@ -46,7 +46,10 @@ type BufStats struct {
 }
 
 // BufferPool caches disk pages in a fixed number of PageSize frames, exactly
-// the structure whose size the paper sweeps in Figure 8(b).
+// the structure whose size the paper sweeps in Figure 8(b). The pool is safe
+// for concurrent use; see the package doc for the page-content contract
+// (readers may share a pinned frame, writers of a page serialize externally,
+// distinct tables need no coordination).
 type BufferPool struct {
 	mu     sync.Mutex
 	disk   DiskManager
@@ -124,8 +127,8 @@ func (bp *BufferPool) Fetch(pid PageID) (*Frame, error) {
 		return nil, err
 	}
 	// Reserve the frame for pid before the disk read so a concurrent caller
-	// cannot steal it; the pool mutex is held across the read for simplicity
-	// (the engine is effectively single-writer).
+	// cannot steal it; the pool mutex is held across the read for simplicity,
+	// which serializes misses (hits do not pay for this).
 	f.pid = pid
 	f.valid = true
 	f.dirty = false

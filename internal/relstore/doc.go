@@ -20,7 +20,34 @@
 //     aggregation — enough to express the bulk classification plan of the
 //     paper's Figure 3 and the distillation plan of Figure 4.
 //
-// The engine is deliberately single-writer: callers (the crawler core)
-// serialize mutating access. Iterators must be drained or abandoned before
-// the underlying tables are mutated.
+// # Concurrency contract
+//
+// The engine distinguishes three levels of thread-safety, which the sharded
+// crawler frontier relies on:
+//
+//   - DiskManager implementations (MemDisk, FileDisk) and the BufferPool
+//     are fully thread-safe: Fetch, NewPage, Unpin, and Allocate may be
+//     called from any number of goroutines. Eviction only ever claims
+//     unpinned frames, so a frame's page image is stable for as long as a
+//     caller holds a pin.
+//
+//   - Page *contents* follow a pin-and-own discipline: concurrent pinners
+//     of the same frame may all read, but writers of a page must be
+//     externally serialized with every other accessor of that page.
+//     Distinct tables (and their B+trees and heap files) occupy disjoint
+//     pages, so concurrent operations on *different* tables over one
+//     shared pool are safe without further locking — this is how the
+//     crawler's frontier shards run in parallel.
+//
+//   - Tables, HeapFiles, BTrees, and Indexes are single-writer and
+//     non-reentrant per structure: all access to any one of them (reads
+//     included, since reads traverse pages a concurrent writer may be
+//     splitting) must be serialized by the caller, as the crawler does
+//     with one mutex per frontier shard. Iterators must be drained or
+//     abandoned before the underlying table is mutated.
+//
+// The DB catalog (CreateTable/DropTable/Table) is also single-writer;
+// callers that create tables while other goroutines run must hold whatever
+// lock serializes those goroutines (the crawler materializes its CRAWL
+// snapshot only under its stop-the-world barrier).
 package relstore
