@@ -23,6 +23,7 @@ func main() {
 		budget  = flag.Int64("budget", 2000, "fetch budget")
 		workers = flag.Int("workers", 8, "crawler threads")
 		shards  = flag.Int("shards", 0, "frontier shards (0 = one per worker)")
+		stripes = flag.Int("linkstripes", 0, "LINK store stripes (0 = one per worker)")
 		mode    = flag.String("mode", "soft", "soft | hard | unfocused")
 		distill = flag.Int64("distill", 500, "distill every N visits (0 = off)")
 	)
@@ -51,6 +52,7 @@ func main() {
 		Crawl: crawler.Config{
 			Workers:        *workers,
 			FrontierShards: *shards,
+			LinkStripes:    *stripes,
 			MaxFetches:     *budget,
 			Mode:           m,
 			DistillEvery:   *distill,

@@ -31,6 +31,7 @@ func main() {
 		weight  = flag.Float64("weight", 3, "page-mass multiplier for the target topic")
 		quick   = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
 		latency = flag.Duration("latency", 50*time.Microsecond, "simulated per-page disk latency for figure 8")
+		stripes = flag.Int("linkstripes", 0, "LINK store stripes for the scale figure (0 = one per worker)")
 	)
 	flag.Parse()
 
@@ -140,6 +141,21 @@ func main() {
 		// paper reports its crawler ran ~30 threads but no scaling study).
 		r, err := eval.RunCrawlScaling(eval.CrawlScalingConfig{
 			Web: webCfg, Topic: *topic, Budget: *budget / 4,
+			LinkStripes: *stripes,
+		})
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+
+		// The same sweep on the link-heavy web, where ingest throughput —
+		// not fetch latency — decides the scaling curve.
+		fmt.Println("\nlink-heavy workload (dense hubs):")
+		heavy := eval.LinkHeavyWeb(*seed, *pages/3)
+		heavy.TopicWeights = map[string]float64{*topic: *weight}
+		r, err = eval.RunCrawlScaling(eval.CrawlScalingConfig{
+			Web: heavy, Topic: *topic,
+			Budget: *budget / 4, LinkStripes: *stripes,
 		})
 		if err != nil {
 			return err

@@ -74,7 +74,7 @@ func main() {
 	// Class shares within one link of cycling pages.
 	near := map[taxonomy.NodeID]float64{}
 	var nearTotal float64
-	err = sys.Crawler.Link().Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+	err = sys.Crawler.Links().Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
 		src, dst := t[crawler.LSrc].Int(), t[crawler.LDst].Int()
 		if classOf[src] != cyc {
 			return false, nil

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"focus/internal/crawler"
+	"focus/internal/distiller"
+	"focus/internal/webgraph"
+)
+
+// The golden hub/authority data below was captured from the pre-stripe
+// crawler (single LINK table behind the global mutex) at commit 7a20199
+// running the citationsociology example's web at test size:
+//
+//	Web:     webgraph.Config{Seed: 1999, NumPages: 6000,
+//	         TopicWeights: {"cycling": 3}}
+//	Crawl:   crawler.Config{Workers: 1, MaxFetches: 400}
+//	Seeds:   SeedTopic("cycling", 10)
+//	Distill: distiller.RunJoin with defaults (5 iterations, rho 0.2)
+//	         over Crawler.Tables()
+//
+// That crawl visited 386 pages and stored 6495 LINK rows. A 1-worker crawl
+// defaults to LinkStripes=1, which must reproduce the single-table LINK
+// contents exactly, so the distiller — reading the striped store through
+// its merged view — must land on bit-equal scores. This pins the link
+// ingest semantics (dedup, EF/EB weights, incoming-weight refresh) the way
+// the harvest golden pins the checkout order.
+const (
+	goldenDistillVisited = 386
+	goldenDistillLinks   = 6495
+)
+
+var goldenHubs = []distiller.Scored{
+	{OID: 3900850264707719425, Score: 0.052990534},
+	{OID: -443234747858697723, Score: 0.043854173},
+	{OID: -4768942772813177033, Score: 0.033197181},
+	{OID: 899014757119504930, Score: 0.027925790},
+	{OID: -5958830072319614383, Score: 0.027343654},
+	{OID: 3992691237382214866, Score: 0.022560198},
+	{OID: -403366123668497307, Score: 0.018550713},
+	{OID: 2680398866477801265, Score: 0.018125877},
+	{OID: 2719411826371467143, Score: 0.017362912},
+	{OID: 2065634515826300791, Score: 0.016533810},
+}
+
+var goldenAuths = []distiller.Scored{
+	{OID: 3352292784326470812, Score: 0.009253801},
+	{OID: 224734157727991059, Score: 0.008641813},
+	{OID: -415764216785744618, Score: 0.008429091},
+	{OID: 5251265168372474166, Score: 0.008144818},
+	{OID: -3768811011847185890, Score: 0.007476624},
+	{OID: 3726598012680052343, Score: 0.006567643},
+	{OID: 2057986178841803297, Score: 0.006309690},
+	{OID: 3892134436032593853, Score: 0.006118191},
+	{OID: 3369366134986100748, Score: 0.005756832},
+	{OID: -2022723495761347960, Score: 0.005744535},
+}
+
+func TestGoldenDistillSeed1999(t *testing.T) {
+	sys, err := NewSystem(Config{
+		Web: webgraph.Config{
+			Seed:         1999,
+			NumPages:     6000,
+			TopicWeights: map[string]float64{"cycling": 3},
+		},
+		GoodTopics: []string{"cycling"},
+		Crawl: crawler.Config{
+			Workers:    1,
+			MaxFetches: 400,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SeedTopic("cycling", 10); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != goldenDistillVisited {
+		t.Errorf("visited = %d, golden %d", res.Visited, goldenDistillVisited)
+	}
+	if got := sys.Crawler.Links().Rows(); got != goldenDistillLinks {
+		t.Errorf("LINK rows = %d, golden %d (ingest dedup semantics drifted)",
+			got, goldenDistillLinks)
+	}
+	tb, err := sys.Crawler.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := distiller.RunJoin(sys.DB, tb, distiller.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	checkGoldenScores := func(name string, got, want []distiller.Scored) {
+		t.Helper()
+		if len(got) < len(want) {
+			t.Fatalf("%s: only %d scored pages, golden has %d", name, len(got), len(want))
+		}
+		const tol = 1e-6 // golden captured at 9 decimals; scores are sums of ~6500 float terms
+		for i, w := range want {
+			if got[i].OID != w.OID {
+				t.Errorf("%s[%d] = oid %d, golden %d (ranking drifted)", name, i, got[i].OID, w.OID)
+				continue
+			}
+			if math.Abs(got[i].Score-w.Score) > tol {
+				t.Errorf("%s[%d] score = %.9f, golden %.9f", name, i, got[i].Score, w.Score)
+			}
+		}
+	}
+	hubs, err := distiller.Top(tb.Hubs, len(goldenHubs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGoldenScores("hubs", hubs, goldenHubs)
+	auths, err := distiller.Top(tb.Auth, len(goldenAuths))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGoldenScores("auth", auths, goldenAuths)
+
+	// Both distillation strategies must agree on the graph: the index-walk
+	// ranking over the same striped store matches the join ranking.
+	if _, err := distiller.RunIndexWalk(sys.DB, tb, distiller.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	hubs2, err := distiller.Top(tb.Hubs, len(goldenHubs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGoldenScores("indexwalk hubs", hubs2, goldenHubs)
+}

@@ -10,6 +10,7 @@ import (
 
 	"focus/internal/classifier"
 	"focus/internal/distiller"
+	"focus/internal/linkgraph"
 	"focus/internal/relstore"
 	"focus/internal/textproc"
 )
@@ -39,6 +40,12 @@ type Config struct {
 	// shard's published head is globally best. 1 reproduces the pre-shard
 	// single-frontier behavior exactly.
 	FrontierShards int
+	// LinkStripes is the number of source-hashed stripes of the LINK store
+	// and of the DOCUMENT relation (default Workers). Each stripe has its
+	// own table, indexes, and lock, so workers ingesting different pages'
+	// out-links proceed in parallel. 1 reproduces the pre-stripe
+	// single-table LINK (and DOCUMENT) exactly.
+	LinkStripes int
 	// MaxFetches is the fetch-attempt budget; the crawl stops after this
 	// many attempts (default 1000).
 	MaxFetches int64
@@ -68,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FrontierShards <= 0 {
 		c.FrontierShards = c.Workers
+	}
+	if c.LinkStripes <= 0 {
+		c.LinkStripes = c.Workers
 	}
 	if c.MaxFetches == 0 {
 		c.MaxFetches = 1000
@@ -104,11 +114,14 @@ type Result struct {
 
 // Crawler owns the crawl state. The CRAWL relation is partitioned by host
 // into FrontierShards shards (see shard.go), each with its own B+tree
-// priority index and mutex, so workers on different shards touch disjoint
-// tables and proceed in parallel; the shared relations (LINK, HUBS, AUTH,
-// DOCUMENT) and the harvest log serialize through the global mutex. Fetches
-// (the expensive, high-latency part) run outside all locks, and so does
-// classification (the model's in-memory statistics are read-only after
+// priority index and mutex; the LINK relation is striped by source oid into
+// LinkStripes partitions with their own locks (internal/linkgraph), and the
+// DOCUMENT relation is striped the same way under per-stripe RWMutexes — so
+// workers on different shards and stripes touch disjoint tables and proceed
+// in parallel. Only the harvest log, visit sequencing, distillation state
+// (HUBS/AUTH), and the policy still serialize through the global mutex.
+// Fetches (the expensive, high-latency part) run outside all locks, and so
+// does classification (the model's in-memory statistics are read-only after
 // training).
 //
 // Ordering contract: the paper's checkout order (numtries ASC, relevance
@@ -117,8 +130,16 @@ type Result struct {
 // workers pop from the shard whose head is globally best, so the global
 // order holds up to hint staleness and concurrent checkouts. With
 // FrontierShards=1 the pre-shard global order is reproduced exactly.
-// Distillation takes a stop-the-world barrier (every shard lock, ascending,
-// then the global lock) and runs against a consistent cross-shard snapshot.
+// Distillation takes a stop-the-world barrier (every link stripe lock, then
+// every shard lock, each ascending, then the global lock) and runs against
+// a consistent cross-shard snapshot.
+//
+// Lock ordering, from the bottom of the tower up: link stripe mutexes
+// (ascending id) < frontier shard mutex (at most one, except under the
+// barrier) < global mutex < DOCUMENT stripe RWMutexes. A doc stripe lock is
+// always the last lock in any acquisition sequence: the insert path holds
+// exactly one with nothing nested, and Doc's snapshot takes its read locks
+// after the global mutex.
 type Crawler struct {
 	cfg     Config
 	db      *relstore.DB
@@ -126,22 +147,28 @@ type Crawler struct {
 	fetcher Fetcher
 
 	shards []*shard
+	links  *linkgraph.Store
+	docs   []*docStripe
 
-	// mu guards the shared relations, the harvest log, visit sequencing,
-	// distillation state, and the policy. Lock ordering: any one shard
-	// mutex may be held when acquiring mu; never the reverse.
+	// mu guards the harvest log, visit sequencing, distillation state
+	// (HUBS/AUTH), the policy, and the table catalog. Lock ordering: any
+	// number of link stripe locks and any one shard mutex may be held when
+	// acquiring mu; never the reverse.
 	mu        sync.Mutex
-	link      *relstore.Table
 	hubs      *relstore.Table
 	auth      *relstore.Table
-	doc       *relstore.Table
 	policy    Policy
-	linkSrcIx *relstore.Index
-	linkDstIx *relstore.Index
 	harvest   []HarvestPoint
 	visitSeq  int64
 	sinceDist int64
 	distills  int
+	// pendingFwd holds oid -> relevance for pages marked visited whose
+	// incoming-weight sweep (UpdateIncomingFwd) has not completed yet. The
+	// entry is added in the same critical section that marks the row
+	// visited and removed only after the sweep commits, so the distill
+	// barrier can drain it and never observe a stale forward weight — the
+	// same guarantee the old under-one-mutex refresh gave.
+	pendingFwd map[int64]float64
 
 	fetches  atomic.Int64
 	visited  atomic.Int64
@@ -159,11 +186,12 @@ type Crawler struct {
 // be trained and its taxonomy marked with the crawl's good topics.
 func New(db *relstore.DB, model *classifier.Model, fetcher Fetcher, cfg Config) (*Crawler, error) {
 	c := &Crawler{
-		cfg:     cfg.withDefaults(),
-		db:      db,
-		model:   model,
-		fetcher: fetcher,
-		policy:  AggressiveDiscovery(),
+		cfg:        cfg.withDefaults(),
+		db:         db,
+		model:      model,
+		fetcher:    fetcher,
+		policy:     AggressiveDiscovery(),
+		pendingFwd: make(map[int64]float64),
 	}
 	if c.cfg.Mode == ModeUnfocused {
 		c.policy = FIFO()
@@ -176,17 +204,7 @@ func New(db *relstore.DB, model *classifier.Model, fetcher Fetcher, cfg Config) 
 		c.shards = append(c.shards, sh)
 	}
 	var err error
-	if c.link, err = db.CreateTable("LINK", LinkSchema()); err != nil {
-		return nil, err
-	}
-	if c.linkSrcIx, err = c.link.AddIndex("bysrc", func(t relstore.Tuple) []byte {
-		return relstore.EncodeKey(t[LSrc], t[LDst])
-	}); err != nil {
-		return nil, err
-	}
-	if c.linkDstIx, err = c.link.AddIndex("bydst", func(t relstore.Tuple) []byte {
-		return relstore.EncodeKey(t[LDst], t[LSrc])
-	}); err != nil {
+	if c.links, err = linkgraph.New(db, c.cfg.LinkStripes); err != nil {
 		return nil, err
 	}
 	if c.hubs, err = db.CreateTable("HUBS", distiller.HubsAuthSchema()); err != nil {
@@ -205,10 +223,28 @@ func New(db *relstore.DB, model *classifier.Model, fetcher Fetcher, cfg Config) 
 	}); err != nil {
 		return nil, err
 	}
-	if c.doc, err = db.CreateTable("DOCUMENT", classifier.DocSchema()); err != nil {
-		return nil, err
+	for i := 0; i < c.cfg.LinkStripes; i++ {
+		tab, err := db.CreateTable(fmt.Sprintf("DOCUMENT#%d", i), classifier.DocSchema())
+		if err != nil {
+			return nil, err
+		}
+		c.docs = append(c.docs, &docStripe{tab: tab})
 	}
 	return c, nil
+}
+
+// docStripe is one partition of the DOCUMENT relation. The RWMutex lets
+// any number of snapshot readers (Doc) share the stripe while excluding the
+// single writer inserting a page's term rows. Doc stripe locks come last in
+// the lock order: nothing else is acquired while one is held.
+type docStripe struct {
+	mu  sync.RWMutex
+	tab *relstore.Table
+}
+
+// docFor maps a page oid to its DOCUMENT stripe.
+func (c *Crawler) docFor(oid int64) *docStripe {
+	return c.docs[int(uint64(oid)%uint64(len(c.docs)))]
 }
 
 // Tables exposes the crawl relations (for the distiller, monitors, and
@@ -221,7 +257,7 @@ func (c *Crawler) Tables() (distiller.Tables, error) {
 	if err != nil {
 		return distiller.Tables{}, err
 	}
-	return distiller.Tables{Link: c.link, Crawl: snap, Hubs: c.hubs, Auth: c.auth}, nil
+	return distiller.Tables{Link: c.links, Crawl: snap, Hubs: c.hubs, Auth: c.auth}, nil
 }
 
 // Crawl materializes and returns a consistent snapshot of the full CRAWL
@@ -258,11 +294,42 @@ func (c *Crawler) snapshotCrawlLocked() (*relstore.Table, error) {
 	return snap, nil
 }
 
-// Link returns the LINK relation.
-func (c *Crawler) Link() *relstore.Table { return c.link }
+// Links returns the striped LINK store. Its Scan/Iter/Rows surface is safe
+// to use while the crawl runs (each stripe locks for its portion); for a
+// consistent cross-stripe snapshot use it after Run or via Tables.
+func (c *Crawler) Links() *linkgraph.Store { return c.links }
 
-// Doc returns the DOCUMENT relation.
-func (c *Crawler) Doc() *relstore.Table { return c.doc }
+// Doc materializes and returns a merged snapshot of the striped DOCUMENT
+// relation as a table named "DOCUMENT". Like Crawl, each call refreshes the
+// snapshot (abandoning the previous copy's pages), so this is for
+// post-crawl analysis — bulk re-classification, tests — not polling.
+func (c *Crawler) Doc() (*relstore.Table, error) {
+	c.mu.Lock() // catalog writes below
+	defer c.mu.Unlock()
+	for _, ds := range c.docs {
+		ds.mu.RLock()
+	}
+	defer func() {
+		for i := len(c.docs) - 1; i >= 0; i-- {
+			c.docs[i].mu.RUnlock()
+		}
+	}()
+	c.db.DropTable("DOCUMENT")
+	snap, err := c.db.CreateTable("DOCUMENT", classifier.DocSchema())
+	if err != nil {
+		return nil, err
+	}
+	for _, ds := range c.docs {
+		err := ds.tab.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+			_, err := snap.Insert(t)
+			return false, err
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return snap, nil
+}
 
 // Model returns the classifier guiding this crawl.
 func (c *Crawler) Model() *classifier.Model { return c.model }
@@ -476,9 +543,8 @@ func (c *Crawler) process(sh *shard, rid relstore.RID, row relstore.Tuple, res *
 	leaf := c.model.BestLeaf(post)
 	oid := row[COID].Int()
 
-	// Persist the visit: the row update is shard-owned; the harvest log,
-	// DOCUMENT insert, and link-weight refresh are global. Lock order:
-	// shard, then global.
+	// Persist the visit: the row update is shard-owned; the harvest log and
+	// visit sequence are global. Lock order: shard, then global.
 	sh.mu.Lock()
 	c.mu.Lock()
 	c.visitSeq++
@@ -493,14 +559,7 @@ func (c *Crawler) process(sh *shard, rid relstore.RID, row relstore.Tuple, res *
 			Seq: c.visitSeq, OID: oid, URL: row[CURL].S,
 			Relevance: rel, Kcid: int32(leaf),
 		})
-		if !c.cfg.SkipDocuments {
-			err = classifier.InsertDoc(c.doc, oid, vec)
-		}
-	}
-	if err == nil {
-		// Now that this page's relevance is known, fix up the forward
-		// weights of links pointing at it (the paper uses triggers).
-		err = c.refreshIncomingWeightsLocked(oid, rel)
+		c.pendingFwd[oid] = rel
 	}
 	c.mu.Unlock()
 	sh.mu.Unlock()
@@ -508,15 +567,40 @@ func (c *Crawler) process(sh *shard, rid relstore.RID, row relstore.Tuple, res *
 		return err
 	}
 
+	// The term rows go to the page's DOCUMENT stripe, outside the global
+	// lock (a page's vector is often hundreds of rows).
+	if !c.cfg.SkipDocuments {
+		ds := c.docFor(oid)
+		ds.mu.Lock()
+		err = classifier.InsertDoc(ds.tab, oid, vec)
+		ds.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+
+	// Now that this page's relevance is known, fix up the forward weights
+	// of links pointing at it (the paper uses triggers). The CRAWL row was
+	// marked visited above, so a concurrent ingester of an edge into this
+	// page either commits before this sweep (and is rewritten by it) or
+	// enters its stripe section after it and reads the visited relevance
+	// itself — either way no stale weight survives. A distillation barrier
+	// landing in the window before this sweep drains the pendingFwd entry
+	// itself; the entry clears only once the sweep has committed.
+	if err := c.links.UpdateIncomingFwd(oid, rel); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	delete(c.pendingFwd, oid)
+	c.mu.Unlock()
+
 	expand := true
 	if c.cfg.Mode == ModeHardFocus {
 		expand = c.model.Tree.IsGoodOrSubsumed(leaf)
 	}
 	if expand {
-		for _, out := range res.Outlinks {
-			if err := c.addLink(oid, res.ServerID, rel, out); err != nil {
-				return err
-			}
+		if err := c.expandLinks(oid, res, rel); err != nil {
+			return err
 		}
 	}
 
@@ -535,48 +619,75 @@ func (c *Crawler) process(sh *shard, rid relstore.RID, row relstore.Tuple, res *
 	return nil
 }
 
-// addLink records (src -> dstURL) and enqueues the target if new. It holds
-// the target's shard lock throughout (so the dst row cannot change under
-// it) and the global lock briefly for the LINK relation.
-func (c *Crawler) addLink(src int64, sidSrc int32, srcRel float64, dstURL string) error {
-	dst := OIDOf(dstURL)
-	if dst == src {
-		return nil
+// expandLinks records the page's out-edges through the batched linkgraph
+// ingest and then enqueues (or priority-boosts) the targets. The batch is
+// accumulated lock-free, committed to the stripes in one Apply pass, and
+// the frontier pass walks the surviving edges in original outlink order —
+// so with one worker and one stripe the observable effects are identical,
+// step for step, to the old per-link path.
+func (c *Crawler) expandLinks(src int64, res *Fetch, srcRel float64) error {
+	var batch linkgraph.Batch
+	urls := make([]string, 0, len(res.Outlinks))
+	for _, out := range res.Outlinks {
+		dst := OIDOf(out)
+		if dst == src {
+			continue
+		}
+		// Forward weight EF[u,v] = relevance(v); until v is classified, the
+		// radius-1 rule makes R(u) the best available estimate (the weight
+		// callback substitutes the true relevance at commit time if v has
+		// been visited). Backward weight EB[u,v] = relevance(u), known now.
+		batch.Add(linkgraph.Edge{
+			Src: src, SidSrc: res.ServerID,
+			Dst: dst, SidDst: SIDOf(out),
+			WgtFwd: srcRel, WgtRev: srcRel,
+		})
+		urls = append(urls, out)
 	}
-	sidDst := SIDOf(dstURL)
-	sh := c.shardFor(sidDst)
+	inserted, err := c.links.Apply(&batch, c.edgeWeight)
+	if err != nil {
+		return err
+	}
+	for i, e := range batch.Edges() {
+		if !inserted[i] {
+			continue // duplicate edge: already enqueued or boosted once
+		}
+		if err := c.enqueueTarget(e, urls[i], srcRel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// edgeWeight is Apply's weight callback: called under the edge's stripe
+// lock, it locks the target's home shard and reads its row — if the target
+// is already visited, its true relevance replaces the radius-1 estimate.
+// Lock order: stripe, then shard (see the Crawler doc).
+func (c *Crawler) edgeWeight(e linkgraph.Edge) (float64, error) {
+	sh := c.shardFor(e.SidDst)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	_, dstRow, ok, err := sh.lookupLocked(e.Dst)
+	if err != nil {
+		return 0, err
+	}
+	if ok && int32(dstRow[CStatus].Int()) == StatusVisited {
+		return dstRow[CRel].Float(), nil
+	}
+	return e.WgtFwd, nil
+}
 
-	// Forward weight EF[u,v] = relevance(v); until v is classified, the
-	// radius-1 rule makes R(u) the best available estimate. Backward
-	// weight EB[u,v] = relevance(u), known now.
-	fwd := srcRel
-	dstRID, dstRow, dstKnown, err := sh.lookupLocked(dst)
+// enqueueTarget adds a newly linked URL to its home shard's frontier, or —
+// soft focus — raises the priority of an already queued target when the
+// newly discovered citer is more relevant.
+func (c *Crawler) enqueueTarget(e linkgraph.Edge, dstURL string, srcRel float64) error {
+	sh := c.shardFor(e.SidDst)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	dstRID, dstRow, dstKnown, err := sh.lookupLocked(e.Dst)
 	if err != nil {
 		return err
 	}
-	if dstKnown && int32(dstRow[CStatus].Int()) == StatusVisited {
-		fwd = dstRow[CRel].Float()
-	}
-
-	c.mu.Lock()
-	// Dedupe parallel edges.
-	lk := relstore.EncodeKey(relstore.I64(src), relstore.I64(dst))
-	if _, dup, lerr := c.linkSrcIx.Lookup(lk); lerr != nil || dup {
-		c.mu.Unlock()
-		return lerr
-	}
-	_, err = c.link.Insert(relstore.Tuple{
-		relstore.I64(src), relstore.I32(sidSrc),
-		relstore.I64(dst), relstore.I32(sidDst),
-		relstore.F64(fwd), relstore.F64(srcRel),
-	})
-	c.mu.Unlock()
-	if err != nil {
-		return err
-	}
-
 	switch {
 	case !dstKnown:
 		prio := srcRel
@@ -585,8 +696,6 @@ func (c *Crawler) addLink(src int64, sidSrc int32, srcRel float64, dstURL string
 		}
 		return sh.insertFrontierLocked(dstURL, prio)
 	case int32(dstRow[CStatus].Int()) == StatusFrontier && c.cfg.Mode != ModeUnfocused:
-		// Soft focus: a newly discovered relevant citer raises the
-		// target's priority.
 		if srcRel > dstRow[CRel].Float() {
 			dstRow[CRel] = relstore.F64(srcRel)
 			if err := sh.crawl.Update(dstRID, dstRow); err != nil {
@@ -598,46 +707,28 @@ func (c *Crawler) addLink(src int64, sidSrc int32, srcRel float64, dstURL string
 	return nil
 }
 
-// refreshIncomingWeightsLocked sets wgt_fwd = rel on every stored link into
-// oid, now that the true relevance is known; c.mu must be held.
-func (c *Crawler) refreshIncomingWeightsLocked(oid int64, rel float64) error {
-	type upd struct {
-		rid relstore.RID
-		row relstore.Tuple
-	}
-	var ups []upd
-	prefix := relstore.EncodeKey(relstore.I64(oid))
-	err := c.linkDstIx.ScanPrefix(prefix, func(_ []byte, rid relstore.RID) (bool, error) {
-		row, err := c.link.Get(rid)
-		if err != nil {
-			return true, err
-		}
-		row[LWgtFwd] = relstore.F64(rel)
-		ups = append(ups, upd{rid, row})
-		return false, nil
-	})
-	if err != nil {
-		return err
-	}
-	for _, u := range ups {
-		if err := c.link.Update(u.rid, u.row); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// distill stops the world (all shard locks, then the global lock), runs the
-// join-based distiller over a consistent cross-shard snapshot of the crawl
-// graph, and then raises the priority of unvisited pages cited by
-// top-decile hubs — the monitoring workflow shown at the end of §3.7.
-// The snapshot is an in-memory oid -> relevance view handed to the
-// distiller's rho filter, not a materialized table (which would abandon
-// O(|CRAWL|) pages on every distill cycle).
+// distill stops the world (all stripe locks, then all shard locks, then
+// the global lock), runs the join-based distiller over a consistent
+// cross-shard snapshot of the crawl graph, and then raises the priority of
+// unvisited pages cited by top-decile hubs — the monitoring workflow shown
+// at the end of §3.7. The snapshot is an in-memory oid -> relevance view
+// handed to the distiller's rho filter, not a materialized table (which
+// would abandon O(|CRAWL|) pages on every distill cycle); the link graph is
+// read through its barrier-locked view, so no copy of LINK is made either.
 func (c *Crawler) distill() error {
 	c.lockAll()
 	defer c.unlockAll()
 	c.distills++
+	// Drain incoming-weight sweeps still in flight: a worker past its visit
+	// persist but short of its UpdateIncomingFwd holds no locks, so the
+	// barrier applies the sweep itself (idempotent — the worker's own sweep
+	// writes the same value) and the distiller below never sees a stale
+	// radius-1 weight on an edge into a visited page.
+	for oid, pendRel := range c.pendingFwd {
+		if err := c.links.UpdateIncomingFwdLocked(oid, pendRel); err != nil {
+			return err
+		}
+	}
 	rel := make(map[int64]float64)
 	err := c.scanAllLocked(func(_ *shard, _ relstore.RID, t relstore.Tuple) (bool, error) {
 		rel[t[COID].Int()] = t[CRel].Float()
@@ -648,7 +739,7 @@ func (c *Crawler) distill() error {
 	}
 	dcfg := c.cfg.Distill
 	dcfg.Relevance = rel
-	tb := distiller.Tables{Link: c.link, Hubs: c.hubs, Auth: c.auth}
+	tb := distiller.Tables{Link: c.links.LockedView(), Hubs: c.hubs, Auth: c.auth}
 	if _, err := distiller.RunJoin(c.db, tb, dcfg); err != nil {
 		return err
 	}
@@ -670,19 +761,14 @@ func (c *Crawler) distill() error {
 		return err
 	}
 	for _, hub := range tops {
-		prefix := relstore.EncodeKey(relstore.I64(hub))
 		type target struct {
 			oid int64
 			sid int32
 		}
 		var dsts []target
-		err := c.linkSrcIx.ScanPrefix(prefix, func(_ []byte, rid relstore.RID) (bool, error) {
-			row, err := c.link.Get(rid)
-			if err != nil {
-				return true, err
-			}
-			if row[LSidSrc].Int() != row[LSidDst].Int() {
-				dsts = append(dsts, target{row[LDst].Int(), int32(row[LSidDst].Int())})
+		err := c.links.ScanBySrcLocked(hub, func(e linkgraph.Edge) (bool, error) {
+			if e.SidSrc != e.SidDst {
+				dsts = append(dsts, target{e.Dst, e.SidDst})
 			}
 			return false, nil
 		})

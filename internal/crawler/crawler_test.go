@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"focus/internal/classifier"
+	"focus/internal/linkgraph"
 	"focus/internal/relstore"
 	"focus/internal/taxonomy"
 )
@@ -108,7 +109,11 @@ func TestCrawlVisitsAndClassifies(t *testing.T) {
 			t.Fatalf("alpha page relevance %.3f too low", h.Relevance)
 		}
 	}
-	if c.Doc().Rows() == 0 {
+	doc, err := c.Doc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Rows() == 0 {
 		t.Fatal("DOCUMENT not populated")
 	}
 }
@@ -238,11 +243,11 @@ func TestLinkDedupAndWeightRefresh(t *testing.T) {
 	if _, err := c.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if c.Link().Rows() != 1 {
-		t.Fatalf("LINK rows = %d, want 1", c.Link().Rows())
+	if got := c.Links().Rows(); got != 1 {
+		t.Fatalf("LINK rows = %d, want 1", got)
 	}
 	var fwd, rev float64
-	c.Link().Scan(func(_ relstore.RID, tp relstore.Tuple) (bool, error) {
+	c.Links().Scan(func(_ relstore.RID, tp relstore.Tuple) (bool, error) {
 		fwd, rev = tp[LWgtFwd].Float(), tp[LWgtRev].Float()
 		return true, nil
 	})
@@ -251,6 +256,73 @@ func TestLinkDedupAndWeightRefresh(t *testing.T) {
 	}
 	if rev < 0.7 {
 		t.Fatalf("wgt_rev = %.3f; should reflect alpha source's relevance", rev)
+	}
+}
+
+// TestLinkDedupAcrossBatchesStress covers the case the single-crawl test above
+// cannot: the same edge arriving in two workers' batches concurrently.
+// Every distinct (src, dst) must be stored exactly once no matter how the
+// batches interleave, and the crawler's link store must agree with a
+// serial count.
+func TestLinkDedupAcrossBatchesStress(t *testing.T) {
+	c, _ := newTestCrawler(t, &stubFetcher{pages: map[string]*Fetch{}},
+		Config{Workers: 4, LinkStripes: 4})
+	store := c.Links()
+
+	const workers = 4
+	edge := func(src, dst int64) linkgraph.Edge {
+		return linkgraph.Edge{
+			Src: src, SidSrc: int32(src % 5),
+			Dst: dst, SidDst: int32(dst % 5),
+			WgtFwd: 0.5, WgtRev: 0.5,
+		}
+	}
+	distinct := map[[2]int64]bool{}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		// Every worker submits the same overlapping edges, split across
+		// several batches.
+		var batches []*linkgraph.Batch
+		for b := 0; b < 5; b++ {
+			batch := &linkgraph.Batch{}
+			for i := 0; i < 30; i++ {
+				src, dst := int64(b*7+i%11), int64(100+i)
+				batch.Add(edge(src, dst))
+				distinct[[2]int64{src, dst}] = true
+			}
+			batches = append(batches, batch)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for _, b := range batches {
+				if _, err := store.Apply(b, nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Rows(); got != int64(len(distinct)) {
+		t.Fatalf("LINK rows = %d, want %d distinct edges", got, len(distinct))
+	}
+	for key := range distinct {
+		ok, err := store.Contains(key[0], key[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("edge %d->%d lost", key[0], key[1])
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"focus/internal/distiller"
+	"focus/internal/linkgraph"
 	"focus/internal/relstore"
 	"focus/internal/taxonomy"
 )
@@ -134,17 +135,12 @@ func (c *Crawler) MissedNeighbors(percentile float64) ([]MissedNeighbor, error) 
 			return false, nil
 		}
 		hub := h[0].Int()
-		prefix := relstore.EncodeKey(relstore.I64(hub))
-		return false, c.linkSrcIx.ScanPrefix(prefix, func(_ []byte, rid relstore.RID) (bool, error) {
-			l, err := c.link.Get(rid)
-			if err != nil {
-				return true, err
-			}
-			if l[LSidSrc].Int() == l[LSidDst].Int() {
+		return false, c.links.ScanBySrcLocked(hub, func(e linkgraph.Edge) (bool, error) {
+			if e.SidSrc == e.SidDst {
 				return false, nil
 			}
-			sh := c.shardFor(int32(l[LSidDst].Int()))
-			_, row, ok, err := sh.lookupLocked(l[LDst].Int())
+			sh := c.shardFor(e.SidDst)
+			_, row, ok, err := sh.lookupLocked(e.Dst)
 			if err != nil || !ok {
 				return err != nil, err
 			}

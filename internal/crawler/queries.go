@@ -52,7 +52,7 @@ func (c *Crawler) CrossTopicCitations(a, b taxonomy.NodeID) (int64, error) {
 	}
 	tree := c.model.Tree
 	var n int64
-	err = c.link.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+	err = c.links.ScanLocked(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
 		src, okS := classes[t[LSrc].Int()]
 		dst, okD := classes[t[LDst].Int()]
 		if okS && okD && classifiedUnder(tree, src, a) && classifiedUnder(tree, dst, b) {
@@ -83,7 +83,7 @@ func (c *Crawler) SpamSuspects(target, citer taxonomy.NodeID, minCiters int) ([]
 	}
 	tree := c.model.Tree
 	citersOf := make(map[int64]map[int64]bool)
-	err = c.link.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+	err = c.links.ScanLocked(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
 		src, okS := classes[t[LSrc].Int()]
 		dst, okD := classes[t[LDst].Int()]
 		if !okS || !okD {
@@ -136,7 +136,7 @@ func (c *Crawler) NeighborhoodCensus(topic taxonomy.NodeID) (map[taxonomy.NodeID
 	}
 	tree := c.model.Tree
 	out := make(map[taxonomy.NodeID]int64)
-	err = c.link.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+	err = c.links.ScanLocked(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
 		src, okS := classes[t[LSrc].Int()]
 		dst, okD := classes[t[LDst].Int()]
 		if okS && okD && classifiedUnder(tree, src, topic) {

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"strings"
 
+	"focus/internal/linkgraph"
 	"focus/internal/relstore"
 )
 
@@ -71,27 +72,20 @@ func CrawlSchema() *relstore.Schema {
 	)
 }
 
-// LINK column positions.
+// LINK column positions (aliases of the linkgraph package's, kept here so
+// query code over raw LINK tuples reads in the crawler's vocabulary).
 const (
-	LSrc = iota
-	LSidSrc
-	LDst
-	LSidDst
-	LWgtFwd
-	LWgtRev
+	LSrc    = linkgraph.ColSrc
+	LSidSrc = linkgraph.ColSidSrc
+	LDst    = linkgraph.ColDst
+	LSidDst = linkgraph.ColSidDst
+	LWgtFwd = linkgraph.ColWgtFwd
+	LWgtRev = linkgraph.ColWgtRev
 )
 
-// LinkSchema is the LINK relation of Figure 1.
-func LinkSchema() *relstore.Schema {
-	return relstore.NewSchema(
-		relstore.Column{Name: "oid_src", Kind: relstore.KInt64},
-		relstore.Column{Name: "sid_src", Kind: relstore.KInt32},
-		relstore.Column{Name: "oid_dst", Kind: relstore.KInt64},
-		relstore.Column{Name: "sid_dst", Kind: relstore.KInt32},
-		relstore.Column{Name: "wgt_fwd", Kind: relstore.KFloat64},
-		relstore.Column{Name: "wgt_rev", Kind: relstore.KFloat64},
-	)
-}
+// LinkSchema is the LINK relation of Figure 1, now owned by the striped
+// linkgraph store.
+func LinkSchema() *relstore.Schema { return linkgraph.Schema() }
 
 // OIDOf hashes a URL to its 64-bit object ID (FNV-1a, like the paper's
 // 64-bit hashed oid keys).

@@ -16,10 +16,14 @@ import (
 // that server's serverload accounting — lives in exactly one shard.
 //
 // Lock ordering: a goroutine holds at most one shard mutex at a time and may
-// acquire the crawler's global mutex (LINK/HUBS/AUTH/DOCUMENT, harvest)
-// while holding it. Whole-frontier operations (distillation, policy swaps,
-// monitoring queries) take every shard mutex in ascending id order and the
-// global mutex last — see Crawler.lockAll.
+// acquire the crawler's global mutex (harvest log, HUBS/AUTH, policy) while
+// holding it; link stripe mutexes rank *below* shard mutexes (the link
+// store's ingest callback reads a target's shard row under its stripe lock)
+// and are never acquired while a shard or the global mutex is held outside
+// the barrier. Whole-frontier operations (distillation, policy swaps,
+// monitoring queries) take every link stripe lock, then every shard mutex,
+// each in ascending id order, and the global mutex last — see
+// Crawler.lockAll.
 type shard struct {
 	id     int
 	mu     sync.Mutex
@@ -71,10 +75,14 @@ func (c *Crawler) shardFor(sid int32) *shard {
 	return c.shards[int(uint32(sid)%uint32(len(c.shards)))]
 }
 
-// lockAll acquires every shard mutex in ascending id order and then the
-// global mutex — the stop-the-world barrier used by distillation snapshots,
-// policy swaps, and cross-shard monitoring queries.
+// lockAll acquires every link stripe mutex, then every shard mutex, each in
+// ascending id order, and then the global mutex — the stop-the-world
+// barrier used by distillation snapshots, policy swaps, and cross-shard
+// monitoring queries. Stripes come first because they rank lowest in the
+// lock order: an ingesting worker holding a stripe lock may be waiting for
+// a shard lock, so taking stripes before shards lets it drain.
 func (c *Crawler) lockAll() {
+	c.links.LockAll()
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 	}
@@ -87,6 +95,7 @@ func (c *Crawler) unlockAll() {
 	for i := len(c.shards) - 1; i >= 0; i-- {
 		c.shards[i].mu.Unlock()
 	}
+	c.links.UnlockAll()
 }
 
 // insertFrontierLocked adds a URL to the shard's CRAWL partition if absent;

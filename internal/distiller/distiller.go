@@ -23,13 +23,23 @@ import (
 	"focus/internal/relstore"
 )
 
-// Tables names the relations the distiller reads and writes. The LINK table
-// must have columns (oid_src BIGINT, sid_src INT, oid_dst BIGINT, sid_dst
-// INT, wgt_fwd DOUBLE, wgt_rev DOUBLE); CRAWL must contain (oid BIGINT, ...,
-// relevance DOUBLE) with an index named "oid"; HUBS and AUTH are
-// (oid BIGINT, score DOUBLE) with an index named "oid".
+// LinkRel is the read surface the distiller needs from the LINK relation:
+// a sequential scan and a materializing iterator. A plain *relstore.Table
+// satisfies it, and so do the crawler's striped linkgraph store and its
+// barrier-locked view — the distiller is agnostic to how the edges are
+// partitioned, as long as one logical relation comes back.
+type LinkRel interface {
+	Scan(fn func(rid relstore.RID, t relstore.Tuple) (bool, error)) error
+	Iter() (relstore.Iterator, error)
+}
+
+// Tables names the relations the distiller reads and writes. The LINK
+// relation must have columns (oid_src BIGINT, sid_src INT, oid_dst BIGINT,
+// sid_dst INT, wgt_fwd DOUBLE, wgt_rev DOUBLE); CRAWL must contain
+// (oid BIGINT, ..., relevance DOUBLE) with an index named "oid"; HUBS and
+// AUTH are (oid BIGINT, score DOUBLE) with an index named "oid".
 type Tables struct {
-	Link  *relstore.Table
+	Link  LinkRel
 	Crawl *relstore.Table
 	Hubs  *relstore.Table
 	Auth  *relstore.Table
@@ -100,6 +110,20 @@ const (
 	lWgtFwd
 	lWgtRev
 )
+
+// linkSchema is the distiller's own statement of the LINK contract the
+// Tables doc spells out — deliberately not imported from a storage package,
+// so the distiller stays agnostic to which LinkRel implementation feeds it.
+func linkSchema() *relstore.Schema {
+	return relstore.NewSchema(
+		relstore.Column{Name: "oid_src", Kind: relstore.KInt64},
+		relstore.Column{Name: "sid_src", Kind: relstore.KInt32},
+		relstore.Column{Name: "oid_dst", Kind: relstore.KInt64},
+		relstore.Column{Name: "sid_dst", Kind: relstore.KInt32},
+		relstore.Column{Name: "wgt_fwd", Kind: relstore.KFloat64},
+		relstore.Column{Name: "wgt_rev", Kind: relstore.KFloat64},
+	)
+}
 
 // seedHubs (re)initializes HUBS with score 1 for every distinct link
 // source, the standard HITS start vector.

@@ -8,17 +8,6 @@ import (
 	"focus/internal/relstore"
 )
 
-func linkSchema() *relstore.Schema {
-	return relstore.NewSchema(
-		relstore.Column{Name: "oid_src", Kind: relstore.KInt64},
-		relstore.Column{Name: "sid_src", Kind: relstore.KInt32},
-		relstore.Column{Name: "oid_dst", Kind: relstore.KInt64},
-		relstore.Column{Name: "sid_dst", Kind: relstore.KInt32},
-		relstore.Column{Name: "wgt_fwd", Kind: relstore.KFloat64},
-		relstore.Column{Name: "wgt_rev", Kind: relstore.KFloat64},
-	)
-}
-
 func crawlSchema() *relstore.Schema {
 	return relstore.NewSchema(
 		relstore.Column{Name: "oid", Kind: relstore.KInt64},

@@ -57,7 +57,7 @@ func joinHalf(db *relstore.DB, tb Tables, cfg Config, fwd bool) (Breakdown, erro
 
 	// Sort LINK by the join column; sort the source score table by oid.
 	t0 = time.Now()
-	linkSorted, err := relstore.SortTuples(bp, tb.Link.Schema, filtered,
+	linkSorted, err := relstore.SortTuples(bp, linkSchema(), filtered,
 		relstore.KeyOfCols(joinCol), cfg.SortMem)
 	if err != nil {
 		return bd, err

@@ -103,7 +103,7 @@ func RunDistance(cfg DistanceConfig) (*DistanceResult, error) {
 		return nil, err
 	}
 
-	dist, err := CrawlGraphDistances(sys.Crawler.Link(), seedOIDs(seeds))
+	dist, err := CrawlGraphDistances(sys.Crawler.Links(), seedOIDs(seeds))
 	if err != nil {
 		return nil, err
 	}
@@ -129,8 +129,14 @@ func seedOIDs(urls []string) []int64 {
 	return out
 }
 
+// LinkScanner is the read surface BFS needs from the LINK relation; both a
+// plain *relstore.Table and the crawler's striped linkgraph store satisfy it.
+type LinkScanner interface {
+	Scan(fn func(rid relstore.RID, t relstore.Tuple) (bool, error)) error
+}
+
 // CrawlGraphDistances runs BFS over the LINK relation from the given oids.
-func CrawlGraphDistances(link *relstore.Table, from []int64) (map[int64]int, error) {
+func CrawlGraphDistances(link LinkScanner, from []int64) (map[int64]int, error) {
 	adj := make(map[int64][]int64)
 	err := link.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
 		src, dst := t[crawler.LSrc].Int(), t[crawler.LDst].Int()

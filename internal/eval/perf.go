@@ -475,7 +475,7 @@ func RunDistillerPerf(cfg DistillerPerfConfig) (*DistillerPerfResult, error) {
 		return nil, err
 	}
 
-	out := &DistillerPerfResult{Edges: cr.Link().Rows()}
+	out := &DistillerPerfResult{Edges: cr.Links().Rows()}
 	dcfg := distiller.Config{Iterations: cfg.Iterations}
 	// Materialize the cross-shard CRAWL snapshot once, before latency and
 	// stats kick in, so both strategies measure pure distillation I/O.
@@ -517,9 +517,28 @@ type CrawlScalingConfig struct {
 	// Shards optionally fixes the shard count across all points (0 keeps
 	// the per-point default of one shard per worker).
 	Shards int
+	// LinkStripes optionally fixes the LINK store's stripe count across all
+	// points (0 keeps the per-point default of one stripe per worker).
+	LinkStripes int
 	// DistillEvery exercises the stop-the-world distill barrier under load
 	// (0 disables it).
 	DistillEvery int64
+}
+
+// LinkHeavyWeb returns a webgraph dense in hub pages — a quarter of all
+// pages are hubs with high out-degree, and ordinary pages link twice as
+// much as the default — so link ingest, not fetching, dominates the crawl.
+// This is the workload that exposed the old global LINK mutex: with it,
+// 8 workers ran no faster than 4.
+func LinkHeavyWeb(seed int64, pages int) webgraph.Config {
+	return webgraph.Config{
+		Seed:          seed,
+		NumPages:      pages,
+		TopicWeights:  map[string]float64{"cycling": 3},
+		HubFrac:       0.25,
+		HubOutDegree:  60,
+		OutDegreeMean: 30,
+	}
 }
 
 func (c CrawlScalingConfig) withDefaults() CrawlScalingConfig {
@@ -578,6 +597,7 @@ func RunCrawlScaling(cfg CrawlScalingConfig) (*CrawlScalingResult, error) {
 			Crawl: crawler.Config{
 				Workers:        w,
 				FrontierShards: cfg.Shards,
+				LinkStripes:    cfg.LinkStripes,
 				MaxFetches:     cfg.Budget,
 				DistillEvery:   cfg.DistillEvery,
 				SkipDocuments:  true,

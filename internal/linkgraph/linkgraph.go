@@ -1,0 +1,451 @@
+// Package linkgraph is the striped store of the LINK relation (Figure 1 of
+// the paper). The first reproduction kept LINK as one table behind the
+// crawler's global mutex, so every worker serialized on it once per outlink
+// — the hot-path bottleneck after the frontier was sharded. Here the
+// relation is partitioned by hash(oid_src) into Stripes physical tables
+// (LINK#0 … LINK#n-1), each with its own bysrc/bydst B+tree indexes and its
+// own mutex; edges of one source page always land in one stripe, so a
+// page's whole out-link batch commits under a single stripe lock.
+//
+// Ingest is batched: a worker accumulates a fetched page's out-edges in a
+// Batch without holding any lock, then Apply groups the batch by stripe and
+// walks the stripes in ascending id order, locking each once. Within a
+// stripe, each edge is deduplicated against the bysrc index ((src, dst) is
+// the edge identity) before insertion, so the same edge arriving in two
+// workers' batches is stored exactly once. With Stripes=1 the store is the
+// single LINK table of the pre-stripe crawler, bit for bit: one heap, the
+// same insertion order, the same index keys.
+//
+// # Lock ordering
+//
+// Stripe mutexes rank below every crawler lock: a goroutine may acquire a
+// frontier-shard mutex or the crawler's global mutex while holding a stripe
+// mutex (Apply's weight callback does exactly that), but never the reverse.
+// Multi-stripe operations (LockAll, Apply, UpdateIncomingFwd, the snapshot
+// iterators) take stripe locks in ascending id order, one at a time unless
+// a consistent cross-stripe view is required. The crawler's stop-the-world
+// barrier therefore begins with LockAll before it touches shard locks; see
+// DESIGN.md and the internal/relstore package doc for the full contract.
+package linkgraph
+
+import (
+	"fmt"
+	"sync"
+
+	"focus/internal/relstore"
+)
+
+// Column positions of the LINK relation.
+const (
+	ColSrc = iota
+	ColSidSrc
+	ColDst
+	ColSidDst
+	ColWgtFwd
+	ColWgtRev
+)
+
+// Schema is the LINK relation of Figure 1.
+func Schema() *relstore.Schema {
+	return relstore.NewSchema(
+		relstore.Column{Name: "oid_src", Kind: relstore.KInt64},
+		relstore.Column{Name: "sid_src", Kind: relstore.KInt32},
+		relstore.Column{Name: "oid_dst", Kind: relstore.KInt64},
+		relstore.Column{Name: "sid_dst", Kind: relstore.KInt32},
+		relstore.Column{Name: "wgt_fwd", Kind: relstore.KFloat64},
+		relstore.Column{Name: "wgt_rev", Kind: relstore.KFloat64},
+	)
+}
+
+// Edge is one directed hyperlink with the paper's EF/EB weights.
+type Edge struct {
+	Src    int64
+	SidSrc int32
+	Dst    int64
+	SidDst int32
+	WgtFwd float64
+	WgtRev float64
+}
+
+func (e Edge) tuple() relstore.Tuple {
+	return relstore.Tuple{
+		relstore.I64(e.Src), relstore.I32(e.SidSrc),
+		relstore.I64(e.Dst), relstore.I32(e.SidDst),
+		relstore.F64(e.WgtFwd), relstore.F64(e.WgtRev),
+	}
+}
+
+// EdgeOf decodes a LINK tuple back into an Edge.
+func EdgeOf(t relstore.Tuple) Edge {
+	return Edge{
+		Src:    t[ColSrc].Int(),
+		SidSrc: int32(t[ColSidSrc].Int()),
+		Dst:    t[ColDst].Int(),
+		SidDst: int32(t[ColSidDst].Int()),
+		WgtFwd: t[ColWgtFwd].Float(),
+		WgtRev: t[ColWgtRev].Float(),
+	}
+}
+
+// Batch accumulates out-edges lock-free; one worker owns one batch at a
+// time (typically the out-links of the page it just classified).
+type Batch struct {
+	edges []Edge
+}
+
+// Add appends an edge, keeping arrival order.
+func (b *Batch) Add(e Edge) { b.edges = append(b.edges, e) }
+
+// Len is the number of accumulated edges.
+func (b *Batch) Len() int { return len(b.edges) }
+
+// Edges exposes the accumulated edges in arrival order.
+func (b *Batch) Edges() []Edge { return b.edges }
+
+// Reset empties the batch for reuse.
+func (b *Batch) Reset() { b.edges = b.edges[:0] }
+
+// stripe is one partition: its own table, indexes, and lock.
+type stripe struct {
+	id    int
+	mu    sync.Mutex
+	tab   *relstore.Table
+	bysrc *relstore.Index
+	bydst *relstore.Index
+}
+
+// Store is the striped LINK relation.
+type Store struct {
+	db      *relstore.DB
+	stripes []*stripe
+}
+
+// New creates the stripe tables LINK#0 … LINK#n-1 in db, each with bysrc
+// ((oid_src, oid_dst)) and bydst ((oid_dst, oid_src)) indexes. n <= 0 means
+// one stripe.
+func New(db *relstore.DB, n int) (*Store, error) {
+	if n <= 0 {
+		n = 1
+	}
+	s := &Store{db: db}
+	for i := 0; i < n; i++ {
+		st := &stripe{id: i}
+		var err error
+		if st.tab, err = db.CreateTable(fmt.Sprintf("LINK#%d", i), Schema()); err != nil {
+			return nil, err
+		}
+		if st.bysrc, err = st.tab.AddIndex("bysrc", func(t relstore.Tuple) []byte {
+			return relstore.EncodeKey(t[ColSrc], t[ColDst])
+		}); err != nil {
+			return nil, err
+		}
+		if st.bydst, err = st.tab.AddIndex("bydst", func(t relstore.Tuple) []byte {
+			return relstore.EncodeKey(t[ColDst], t[ColSrc])
+		}); err != nil {
+			return nil, err
+		}
+		s.stripes = append(s.stripes, st)
+	}
+	return s, nil
+}
+
+// NumStripes returns the stripe count.
+func (s *Store) NumStripes() int { return len(s.stripes) }
+
+// stripeIndex is the partition function: a pure function of the source oid
+// and the stripe count, so an edge's location is stable for the life of the
+// store and bysrc lookups touch exactly one stripe. Every path — ingest,
+// dedup, point lookups, prefix scans — must route through it.
+func (s *Store) stripeIndex(src int64) int {
+	return int(uint64(src) % uint64(len(s.stripes)))
+}
+
+// stripeFor maps a source oid to its home stripe.
+func (s *Store) stripeFor(src int64) *stripe {
+	return s.stripes[s.stripeIndex(src)]
+}
+
+// LockAll acquires every stripe mutex in ascending id order — the link
+// store's part of the crawler's stop-the-world barrier. Stripe locks rank
+// below shard and global locks, so LockAll must come first in the barrier.
+func (s *Store) LockAll() {
+	for _, st := range s.stripes {
+		st.mu.Lock()
+	}
+}
+
+// UnlockAll releases the stripe mutexes in reverse order.
+func (s *Store) UnlockAll() {
+	for i := len(s.stripes) - 1; i >= 0; i-- {
+		s.stripes[i].mu.Unlock()
+	}
+}
+
+// WeightFunc finalizes an edge's forward weight at ingest time. It is
+// called under the edge's stripe lock, immediately before insertion; the
+// crawler's implementation locks the target's frontier shard and substitutes
+// the target's true relevance if it has already been classified. Running
+// under the stripe lock is what makes the weight immune to a concurrent
+// visit of the target: the visitor marks its CRAWL row visited before
+// rewriting incoming weights (UpdateIncomingFwd), so an ingester either
+// observes the visited row here, or inserts early enough that the rewrite
+// sweeps its edge.
+type WeightFunc func(Edge) (float64, error)
+
+// Apply ingests a batch in one pass: edges are grouped by stripe, stripes
+// are visited in ascending id order and locked once each, and within a
+// stripe edges apply in batch arrival order (so with one stripe the heap
+// order is exactly the arrival order). Each edge is deduplicated against
+// the bysrc index; duplicates — within the batch or against edges another
+// worker already committed — are skipped. weight, if non-nil, finalizes
+// WgtFwd per inserted edge. Returns inserted flags aligned with
+// b.Edges(); a false entry means the edge was a duplicate.
+func (s *Store) Apply(b *Batch, weight WeightFunc) ([]bool, error) {
+	inserted := make([]bool, len(b.edges))
+	if len(b.edges) == 0 {
+		return inserted, nil
+	}
+	// Group batch positions by stripe, preserving arrival order within each.
+	groups := make([][]int, len(s.stripes))
+	for i, e := range b.edges {
+		si := s.stripeIndex(e.Src)
+		groups[si] = append(groups[si], i)
+	}
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		st := s.stripes[si]
+		if err := st.applyLocked(idxs, b.edges, weight, inserted); err != nil {
+			return nil, err
+		}
+	}
+	return inserted, nil
+}
+
+func (st *stripe) applyLocked(idxs []int, edges []Edge, weight WeightFunc, inserted []bool) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, i := range idxs {
+		e := edges[i]
+		key := relstore.EncodeKey(relstore.I64(e.Src), relstore.I64(e.Dst))
+		if _, dup, err := st.bysrc.Lookup(key); err != nil {
+			return err
+		} else if dup {
+			continue
+		}
+		if weight != nil {
+			w, err := weight(e)
+			if err != nil {
+				return err
+			}
+			e.WgtFwd = w
+		}
+		if _, err := st.tab.Insert(e.tuple()); err != nil {
+			return err
+		}
+		inserted[i] = true
+	}
+	return nil
+}
+
+// Contains reports whether the edge (src, dst) is stored.
+func (s *Store) Contains(src, dst int64) (bool, error) {
+	st := s.stripeFor(src)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok, err := st.bysrc.Lookup(relstore.EncodeKey(relstore.I64(src), relstore.I64(dst)))
+	return ok, err
+}
+
+// Rows returns the total stored edge count.
+func (s *Store) Rows() int64 {
+	var n int64
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		n += st.tab.Rows()
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// ScanBySrc visits the stored out-edges of src in ascending dst order,
+// locking the source's stripe for the duration.
+func (s *Store) ScanBySrc(src int64, fn func(Edge) (bool, error)) error {
+	st := s.stripeFor(src)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.scanBySrc(src, fn)
+}
+
+// ScanBySrcLocked is ScanBySrc for callers already holding the stripe locks
+// (the crawler's barrier).
+func (s *Store) ScanBySrcLocked(src int64, fn func(Edge) (bool, error)) error {
+	return s.stripeFor(src).scanBySrc(src, fn)
+}
+
+func (st *stripe) scanBySrc(src int64, fn func(Edge) (bool, error)) error {
+	prefix := relstore.EncodeKey(relstore.I64(src))
+	return st.bysrc.ScanPrefix(prefix, func(_ []byte, rid relstore.RID) (bool, error) {
+		t, err := st.tab.Get(rid)
+		if err != nil {
+			return true, err
+		}
+		return fn(EdgeOf(t))
+	})
+}
+
+// UpdateIncomingFwd sets wgt_fwd = fwd on every stored edge into dst — the
+// crawler's trigger once the target's true relevance is known. Incoming
+// edges are striped by their sources, so every stripe's bydst index is
+// consulted, each under its own lock in ascending order. Callers must not
+// hold any shard or global lock (stripe locks rank below both) and must
+// have published the target's visited state first; see WeightFunc.
+func (s *Store) UpdateIncomingFwd(dst int64, fwd float64) error {
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		err := st.updateIncomingFwd(dst, fwd)
+		st.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UpdateIncomingFwdLocked is UpdateIncomingFwd for callers already holding
+// every stripe lock — the crawler's barrier uses it to drain sweeps still
+// pending when a distillation stops the world.
+func (s *Store) UpdateIncomingFwdLocked(dst int64, fwd float64) error {
+	for _, st := range s.stripes {
+		if err := st.updateIncomingFwd(dst, fwd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *stripe) updateIncomingFwd(dst int64, fwd float64) error {
+	type upd struct {
+		rid relstore.RID
+		row relstore.Tuple
+	}
+	var ups []upd
+	prefix := relstore.EncodeKey(relstore.I64(dst))
+	err := st.bydst.ScanPrefix(prefix, func(_ []byte, rid relstore.RID) (bool, error) {
+		row, err := st.tab.Get(rid)
+		if err != nil {
+			return true, err
+		}
+		row[ColWgtFwd] = relstore.F64(fwd)
+		ups = append(ups, upd{rid, row})
+		return false, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, u := range ups {
+		if err := st.tab.Update(u.rid, u.row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scan visits every stored edge tuple in stripe order (stripe 0 first),
+// heap order within a stripe — with one stripe, exactly the single-table
+// LINK scan order. Each stripe is locked for its portion of the scan; for
+// a consistent cross-stripe snapshot hold the barrier and use ScanLocked.
+func (s *Store) Scan(fn func(rid relstore.RID, t relstore.Tuple) (bool, error)) error {
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		err := st.tab.Scan(fn)
+		st.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanLocked is Scan for callers already holding every stripe lock.
+func (s *Store) ScanLocked(fn func(rid relstore.RID, t relstore.Tuple) (bool, error)) error {
+	for _, st := range s.stripes {
+		if err := st.tab.Scan(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Iter returns a materialized iterator over all edges in Scan order.
+func (s *Store) Iter() (relstore.Iterator, error) {
+	var rows []relstore.Tuple
+	err := s.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+		rows = append(rows, t)
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return relstore.NewSliceIter(rows), nil
+}
+
+// IterLocked is Iter for callers already holding every stripe lock.
+func (s *Store) IterLocked() (relstore.Iterator, error) {
+	var rows []relstore.Tuple
+	err := s.ScanLocked(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+		rows = append(rows, t)
+		return false, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return relstore.NewSliceIter(rows), nil
+}
+
+// ByDstIter returns an iterator over all edges in global (oid_dst, oid_src)
+// order: each stripe's bydst index yields a sorted run, and the runs are
+// k-way merged (relstore.MergeSorted), so the merged order equals the
+// single-table bydst order tuple for tuple at any stripe count — the
+// invariance the property test pins. The per-stripe runs are materialized
+// under their stripe locks, taken in ascending order one at a time.
+func (s *Store) ByDstIter() (relstore.Iterator, error) {
+	runs := make([]relstore.Iterator, 0, len(s.stripes))
+	for _, st := range s.stripes {
+		st.mu.Lock()
+		var rows []relstore.Tuple
+		err := st.bydst.ScanPrefix(nil, func(_ []byte, rid relstore.RID) (bool, error) {
+			t, err := st.tab.Get(rid)
+			if err != nil {
+				return true, err
+			}
+			rows = append(rows, t)
+			return false, nil
+		})
+		st.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, relstore.NewSliceIter(rows))
+	}
+	return relstore.MergeSorted(runs, func(t relstore.Tuple) []byte {
+		return relstore.EncodeKey(t[ColDst], t[ColSrc])
+	}), nil
+}
+
+// LockedView adapts a Store held under the barrier to the relational read
+// surface (Scan/Iter without re-locking) that the distiller consumes.
+type LockedView struct{ s *Store }
+
+// LockedView returns the barrier-locked read adapter. The caller must hold
+// every stripe lock (LockAll) for the view's whole lifetime.
+func (s *Store) LockedView() *LockedView { return &LockedView{s} }
+
+// Scan implements the distiller's link scan over the locked store.
+func (v *LockedView) Scan(fn func(rid relstore.RID, t relstore.Tuple) (bool, error)) error {
+	return v.s.ScanLocked(fn)
+}
+
+// Iter implements the distiller's link iterator over the locked store.
+func (v *LockedView) Iter() (relstore.Iterator, error) { return v.s.IterLocked() }

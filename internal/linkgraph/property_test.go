@@ -1,0 +1,94 @@
+package linkgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"focus/internal/relstore"
+)
+
+// TestLinkGraphByDstMergeProperty is the striping-invariance property (in
+// the style of the crawler's shard_test.go): for random edge sets and any
+// stripe count, the merged bydst iteration — each stripe's B+tree run,
+// k-way merged by relstore.MergeSorted — must equal the Stripes=1 iteration
+// tuple for tuple. Striping is a physical layout choice; it must never be
+// observable through the ordered read surface.
+func TestLinkGraphByDstMergeProperty(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		nEdges := rng.Intn(500)
+		srcRange := int64(1 + rng.Intn(40))
+		dstRange := int64(1 + rng.Intn(60))
+		var edges []Edge
+		for i := 0; i < nEdges; i++ {
+			src := rng.Int63n(2*srcRange) - srcRange // negative oids too
+			dst := rng.Int63n(2*dstRange) - dstRange
+			edges = append(edges, Edge{
+				Src: src, SidSrc: int32(src % 3),
+				Dst: dst, SidDst: int32(dst % 3),
+				WgtFwd: float64(rng.Intn(100)) / 100,
+				WgtRev: float64(rng.Intn(100)) / 100,
+			})
+		}
+
+		load := func(stripes int) []Edge {
+			s := newStore(t, stripes)
+			// Split the edge list into several batches, as workers would.
+			for lo := 0; lo < len(edges); lo += 50 {
+				hi := lo + 50
+				if hi > len(edges) {
+					hi = len(edges)
+				}
+				b := &Batch{}
+				for _, e := range edges[lo:hi] {
+					b.Add(e)
+				}
+				if _, err := s.Apply(b, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			it, err := s.ByDstIter()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out []Edge
+			for {
+				tp, ok, err := it.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					return out
+				}
+				out = append(out, EdgeOf(tp))
+			}
+		}
+
+		want := load(1)
+		for _, stripes := range []int{2, 3, 5, 8, 16} {
+			t.Run(fmt.Sprintf("trial=%d/stripes=%d", trial, stripes), func(t *testing.T) {
+				got := load(stripes)
+				if len(got) != len(want) {
+					t.Fatalf("%d tuples, Stripes=1 yields %d", len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("tuple %d = %+v, Stripes=1 order has %+v", i, got[i], want[i])
+					}
+				}
+			})
+		}
+
+		// The order itself must be (dst, src) ascending in encoded-key
+		// space — the same order a single bydst B+tree would yield.
+		var prev []byte
+		for _, e := range want {
+			key := relstore.EncodeKey(relstore.I64(e.Dst), relstore.I64(e.Src))
+			if prev != nil && string(key) <= string(prev) {
+				t.Fatalf("merged bydst order not strictly ascending at %d->%d", e.Src, e.Dst)
+			}
+			prev = key
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package linkgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"focus/internal/relstore"
+)
+
+// TestLinkGraphStressOverlappingIngest drives N workers applying
+// overlapping edge batches concurrently — with interleaved incoming-weight
+// rewrites and prefix reads, the crawler's exact access mix — and then
+// checks the store against a serial oracle: no edge lost, no edge
+// duplicated, weights deterministic, and the bysrc/bydst indexes exact
+// mirrors of the heap. Run it under -race; the CI concurrency step does,
+// twice.
+func TestLinkGraphStressOverlappingIngest(t *testing.T) {
+	for _, stripes := range []int{1, 4, 7} {
+		t.Run(fmt.Sprintf("stripes=%d", stripes), func(t *testing.T) {
+			const (
+				workers = 8
+				batches = 25
+				perBat  = 40
+				srcs    = 60 // small ranges force heavy overlap
+				dsts    = 80
+			)
+			s := newStore(t, stripes)
+
+			// Deterministic weight per edge key so the final state is
+			// independent of which worker's copy wins the insert race.
+			weightOf := func(src, dst int64) float64 {
+				return float64((src*31+dst)%97) / 97
+			}
+			mkEdge := func(src, dst int64) Edge {
+				return Edge{
+					Src: src, SidSrc: int32(src % 5),
+					Dst: dst, SidDst: int32(dst % 5),
+					WgtFwd: weightOf(src, dst), WgtRev: weightOf(dst, src),
+				}
+			}
+
+			// Pre-generate every worker's batches so the oracle can replay
+			// them serially.
+			all := make([][][]Edge, workers)
+			for w := range all {
+				rng := rand.New(rand.NewSource(int64(1000*stripes + w)))
+				all[w] = make([][]Edge, batches)
+				for b := range all[w] {
+					for i := 0; i < perBat; i++ {
+						all[w][b] = append(all[w][b],
+							mkEdge(rng.Int63n(srcs), rng.Int63n(dsts)))
+					}
+				}
+			}
+
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			start := make(chan struct{})
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					<-start
+					for b := 0; b < batches; b++ {
+						batch := &Batch{}
+						for _, edge := range all[w][b] {
+							batch.Add(edge)
+						}
+						if _, err := s.Apply(batch, nil); err != nil {
+							errs <- err
+							return
+						}
+						// The crawler's companion operations, interleaved:
+						// a weight rewrite (idempotent: the deterministic
+						// weight) and a hub-style prefix read.
+						dst := rng.Int63n(dsts)
+						if err := s.UpdateIncomingFwd(dst, weightOf(-1, dst)); err != nil {
+							errs <- err
+							return
+						}
+						err := s.ScanBySrc(rng.Int63n(srcs), func(Edge) (bool, error) {
+							return false, nil
+						})
+						if err != nil {
+							errs <- err
+							return
+						}
+					}
+				}()
+			}
+			close(start)
+			wg.Wait()
+			close(errs)
+			if err := <-errs; err != nil {
+				t.Fatal(err)
+			}
+
+			// Serial oracle: the union of all batches, deduplicated by
+			// (src, dst).
+			oracle := map[[2]int64]Edge{}
+			for _, ws := range all {
+				for _, b := range ws {
+					for _, edge := range b {
+						key := [2]int64{edge.Src, edge.Dst}
+						if _, dup := oracle[key]; !dup {
+							oracle[key] = edge
+						}
+					}
+				}
+			}
+
+			// No lost or duplicated edges.
+			got := map[[2]int64]Edge{}
+			err := s.Scan(func(_ relstore.RID, tp relstore.Tuple) (bool, error) {
+				edge := EdgeOf(tp)
+				key := [2]int64{edge.Src, edge.Dst}
+				if _, dup := got[key]; dup {
+					t.Errorf("edge %d->%d stored twice", edge.Src, edge.Dst)
+				}
+				got[key] = edge
+				return false, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(oracle) {
+				t.Errorf("stored %d distinct edges, oracle has %d", len(got), len(oracle))
+			}
+			for key, want := range oracle {
+				edge, ok := got[key]
+				if !ok {
+					t.Errorf("edge %d->%d lost", key[0], key[1])
+					continue
+				}
+				// WgtFwd may have been rewritten by UpdateIncomingFwd, but
+				// both writers use the same deterministic function of dst
+				// — apply-time weight weightOf(src,dst) or rewrite weight
+				// weightOf(-1,dst) — so only those two values are legal.
+				if edge.WgtFwd != weightOf(key[0], key[1]) && edge.WgtFwd != weightOf(-1, key[1]) {
+					t.Errorf("edge %d->%d wgt_fwd = %v, not a value any writer wrote",
+						key[0], key[1], edge.WgtFwd)
+				}
+				if edge.WgtRev != want.WgtRev {
+					t.Errorf("edge %d->%d wgt_rev = %v, want %v", key[0], key[1], edge.WgtRev, want.WgtRev)
+				}
+			}
+			if n := s.Rows(); n != int64(len(oracle)) {
+				t.Errorf("Rows() = %d, oracle has %d", n, len(oracle))
+			}
+
+			// bysrc and bydst stay mirror-consistent: per stripe, both
+			// indexes enumerate exactly the heap's edge set.
+			for _, st := range s.stripes {
+				heap := map[[2]int64]bool{}
+				st.tab.Scan(func(_ relstore.RID, tp relstore.Tuple) (bool, error) {
+					heap[[2]int64{tp[ColSrc].Int(), tp[ColDst].Int()}] = true
+					return false, nil
+				})
+				for _, ix := range []struct {
+					name string
+					ix   *relstore.Index
+				}{{"bysrc", st.bysrc}, {"bydst", st.bydst}} {
+					seen := map[[2]int64]bool{}
+					err := ix.ix.ScanPrefix(nil, func(_ []byte, rid relstore.RID) (bool, error) {
+						tp, err := st.tab.Get(rid)
+						if err != nil {
+							return true, err
+						}
+						key := [2]int64{tp[ColSrc].Int(), tp[ColDst].Int()}
+						if seen[key] {
+							t.Errorf("stripe %d %s: duplicate entry for %v", st.id, ix.name, key)
+						}
+						seen[key] = true
+						if !heap[key] {
+							t.Errorf("stripe %d %s: entry %v not in heap", st.id, ix.name, key)
+						}
+						return false, nil
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(seen) != len(heap) {
+						t.Errorf("stripe %d %s: %d entries, heap has %d rows",
+							st.id, ix.name, len(seen), len(heap))
+					}
+				}
+			}
+		})
+	}
+}

@@ -16,9 +16,11 @@
 //     the classifier's BLOB/STAT index probes and for crawl-frontier
 //     priority orders;
 //   - query operators: sequential scan, index scan, external merge sort,
-//     sort-merge inner and left outer joins, and streaming group-by
-//     aggregation — enough to express the bulk classification plan of the
-//     paper's Figure 3 and the distillation plan of Figure 4.
+//     sort-merge inner and left outer joins, streaming group-by
+//     aggregation, and a k-way merge of pre-sorted inputs (MergeSorted) —
+//     enough to express the bulk classification plan of the paper's
+//     Figure 3, the distillation plan of Figure 4, and the merged ordered
+//     views of partitioned relations (the crawler's striped LINK store).
 //
 // # Concurrency contract
 //
@@ -43,11 +45,28 @@
 //     non-reentrant per structure: all access to any one of them (reads
 //     included, since reads traverse pages a concurrent writer may be
 //     splitting) must be serialized by the caller, as the crawler does
-//     with one mutex per frontier shard. Iterators must be drained or
-//     abandoned before the underlying table is mutated.
+//     with one mutex per frontier shard and the linkgraph store does with
+//     one mutex per LINK stripe. Iterators must be drained or abandoned
+//     before the underlying table is mutated.
 //
 // The DB catalog (CreateTable/DropTable/Table) is also single-writer;
 // callers that create tables while other goroutines run must hold whatever
 // lock serializes those goroutines (the crawler materializes its CRAWL
 // snapshot only under its stop-the-world barrier).
+//
+// # Caller lock ordering over partitioned relations
+//
+// When one logical relation is partitioned into several tables with one
+// caller mutex each (frontier shards, link stripes), the per-structure
+// contract above is satisfied stripe by stripe, but the callers must also
+// agree on an acquisition order across the partition mutexes and any
+// coarser locks. The crawler's tower, bottom up, is: link stripe mutexes
+// (ascending id) < frontier shard mutex < crawler global mutex < DOCUMENT
+// stripe RWMutexes. Cross-partition operations (consistent snapshots, the
+// distillation barrier, merged ordered reads via MergeSorted over
+// per-partition index runs) take the partition locks in ascending id order
+// and everything coarser afterward; single-partition operations may nest a
+// higher-ranked lock (a stripe holder may take a shard lock) but never a
+// lower-ranked one. See DESIGN.md ("Locking and ordering contract") and
+// the linkgraph package doc for the rationale on each edge of that order.
 package relstore

@@ -1,0 +1,72 @@
+package relstore
+
+import "bytes"
+
+// mergeSortedIter k-way-merges already-sorted inputs by key byte order.
+type mergeSortedIter struct {
+	its  []Iterator
+	key  func(Tuple) []byte
+	head []Tuple  // current head tuple of each input; nil when exhausted
+	keys [][]byte // key of each head
+	open bool
+}
+
+// MergeSorted returns an iterator yielding the union of the inputs in
+// ascending order of key(t) (compared as bytes). Each input must itself be
+// sorted by that key; ties across inputs resolve to the lowest input index,
+// so the merge is deterministic. This is how partitioned relations (e.g. the
+// crawler's striped LINK store) expose one globally ordered view of their
+// per-partition B+tree indexes without re-sorting.
+func MergeSorted(its []Iterator, key func(Tuple) []byte) Iterator {
+	return &mergeSortedIter{its: its, key: key}
+}
+
+func (m *mergeSortedIter) prime() error {
+	m.head = make([]Tuple, len(m.its))
+	m.keys = make([][]byte, len(m.its))
+	for i := range m.its {
+		if err := m.advance(i); err != nil {
+			return err
+		}
+	}
+	m.open = true
+	return nil
+}
+
+func (m *mergeSortedIter) advance(i int) error {
+	t, ok, err := m.its[i].Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		m.head[i], m.keys[i] = nil, nil
+		return nil
+	}
+	m.head[i], m.keys[i] = t, m.key(t)
+	return nil
+}
+
+func (m *mergeSortedIter) Next() (Tuple, bool, error) {
+	if !m.open {
+		if err := m.prime(); err != nil {
+			return nil, false, err
+		}
+	}
+	best := -1
+	for i, t := range m.head {
+		if t == nil {
+			continue
+		}
+		if best < 0 || bytes.Compare(m.keys[i], m.keys[best]) < 0 {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, false, nil
+	}
+	t := m.head[best]
+	if err := m.advance(best); err != nil {
+		return nil, false, err
+	}
+	return t, true, nil
+}

@@ -1,0 +1,103 @@
+package relstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestMergeSortedBasic(t *testing.T) {
+	key := func(tp Tuple) []byte { return EncodeKey(tp[0]) }
+	mk := func(vals ...int64) Iterator {
+		rows := make([]Tuple, len(vals))
+		for i, v := range vals {
+			rows[i] = Tuple{I64(v)}
+		}
+		return NewSliceIter(rows)
+	}
+	it := MergeSorted([]Iterator{mk(1, 4, 9), mk(), mk(2, 3, 10), mk(5)}, key)
+	var got []int64
+	for {
+		tp, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, tp[0].Int())
+	}
+	want := []int64{1, 2, 3, 4, 5, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("merged = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergeSortedStableTies(t *testing.T) {
+	// Equal keys resolve to the lowest input index: tag tuples with their
+	// input and check the tag order within each key.
+	key := func(tp Tuple) []byte { return EncodeKey(tp[0]) }
+	a := NewSliceIter([]Tuple{{I64(1), Str("a")}, {I64(2), Str("a")}})
+	b := NewSliceIter([]Tuple{{I64(1), Str("b")}, {I64(2), Str("b")}})
+	it := MergeSorted([]Iterator{a, b}, key)
+	var tags []string
+	for {
+		tp, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		tags = append(tags, fmt.Sprintf("%d%s", tp[0].Int(), tp[1].S))
+	}
+	want := []string{"1a", "1b", "2a", "2b"}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("tie order = %v, want %v", tags, want)
+		}
+	}
+}
+
+func TestMergeSortedRandomRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	key := func(tp Tuple) []byte { return EncodeKey(tp[0]) }
+	for trial := 0; trial < 20; trial++ {
+		var all []int64
+		var runs []Iterator
+		for r := 0; r < 1+rng.Intn(6); r++ {
+			n := rng.Intn(40)
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = rng.Int63n(1000) - 500
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			rows := make([]Tuple, n)
+			for i, v := range vals {
+				rows[i] = Tuple{I64(v)}
+			}
+			runs = append(runs, NewSliceIter(rows))
+			all = append(all, vals...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		it := MergeSorted(runs, key)
+		for i := range all {
+			tp, ok, err := it.Next()
+			if err != nil || !ok {
+				t.Fatalf("trial %d: merge ended at %d of %d (err %v)", trial, i, len(all), err)
+			}
+			if tp[0].Int() != all[i] {
+				t.Fatalf("trial %d: pos %d = %d, want %d", trial, i, tp[0].Int(), all[i])
+			}
+		}
+		if _, ok, _ := it.Next(); ok {
+			t.Fatalf("trial %d: merge yielded extra tuples", trial)
+		}
+	}
+}
