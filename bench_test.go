@@ -222,6 +222,29 @@ func BenchmarkCrawlWorkersLinkHeavy(b *testing.B) {
 	}
 }
 
+// BenchmarkDistillStall compares total crawl-worker stall attributable to
+// distillation between the legacy stop-the-world barrier and the
+// concurrent snapshot-and-go pipeline, on the link-heavy workload with
+// realistic fetch latency. The two stall metrics print side by side, so a
+// regression in the snapshot phase (concurrent stall creeping toward
+// barrier stall) is visible straight from the CI log; the reduction
+// should stay well above 5x.
+func BenchmarkDistillStall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := eval.RunDistillStall(eval.DistillStallConfig{
+			Web: eval.LinkHeavyWeb(95+int64(i), 6000),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Barrier.Stall.Milliseconds()), "barrier-stall-ms")
+		b.ReportMetric(float64(r.Concurrent.Stall.Milliseconds()), "conc-stall-ms")
+		b.ReportMetric(r.StallRatio, "stall-reduction")
+		b.ReportMetric(r.Barrier.PagesPerSec, "barrier-pages/sec")
+		b.ReportMetric(r.Concurrent.PagesPerSec, "conc-pages/sec")
+	}
+}
+
 // BenchmarkFig8dDistiller compares the index-walk and join distillation
 // strategies over a crawled graph (Figure 8d: join ~3x faster).
 func BenchmarkFig8dDistiller(b *testing.B) {

@@ -10,6 +10,7 @@ import (
 
 	"focus/internal/core"
 	"focus/internal/crawler"
+	"focus/internal/distiller"
 	"focus/internal/webgraph"
 )
 
@@ -26,6 +27,8 @@ func main() {
 		stripes = flag.Int("linkstripes", 0, "LINK store stripes (0 = one per worker)")
 		mode    = flag.String("mode", "soft", "soft | hard | unfocused")
 		distill = flag.Int64("distill", 500, "distill every N visits (0 = off)")
+		dpar    = flag.Int("distillpar", 0, "distiller join partitions (0/1 = serial)")
+		barrier = flag.Bool("distillbarrier", false, "legacy stop-the-world distillation (workers stall for the whole HITS run)")
 	)
 	flag.Parse()
 
@@ -56,6 +59,8 @@ func main() {
 			MaxFetches:     *budget,
 			Mode:           m,
 			DistillEvery:   *distill,
+			DistillBarrier: *barrier,
+			Distill:        distiller.Config{Parallelism: *dpar},
 		},
 	})
 	if err != nil {
@@ -75,6 +80,10 @@ func main() {
 	fmt.Printf("crawl finished in %v\n", res.Elapsed.Round(1e6))
 	fmt.Printf("  visited=%d fetches=%d failed=%d dead=%d distills=%d stagnated=%v\n",
 		res.Visited, res.Fetches, res.Failed, res.Dead, res.Distills, res.Stagnated)
+	if res.Distills > 0 {
+		fmt.Printf("  distill stall=%v compute=%v (barrier=%v, partitions=%d)\n",
+			res.DistillStall.Round(1e6), res.DistillCompute.Round(1e6), *barrier, *dpar)
+	}
 	fmt.Printf("  true relevant fraction (ground truth): %.3f\n\n", sys.TrueRelevantFraction())
 
 	fmt.Println("harvest by 100-visit window:")

@@ -8,7 +8,9 @@
 //
 // Figures: 5 (harvest rate, a+b), 6 (coverage, a+b), 7 (distance
 // histogram + hubs), 8a (classifier variants), 8b (memory scaling),
-// 8c (output scaling), 8d (distiller variants).
+// 8c (output scaling), 8d (distiller variants), plus two studies beyond
+// the paper: scale (worker scaling of the sharded frontier) and stall
+// (distillation worker stall, barrier vs snapshot-and-go).
 package main
 
 import (
@@ -23,15 +25,16 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to run: 5, 6, 7, 8a, 8b, 8c, 8d, scale, all")
-		seed    = flag.Int64("seed", 1999, "random seed")
-		pages   = flag.Int("pages", 30000, "synthetic web size for crawl experiments")
-		budget  = flag.Int64("budget", 4000, "fetch budget for crawl experiments")
-		topic   = flag.String("topic", "cycling", "target topic")
-		weight  = flag.Float64("weight", 3, "page-mass multiplier for the target topic")
-		quick   = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
-		latency = flag.Duration("latency", 50*time.Microsecond, "simulated per-page disk latency for figure 8")
-		stripes = flag.Int("linkstripes", 0, "LINK store stripes for the scale figure (0 = one per worker)")
+		fig        = flag.String("fig", "all", "figure to run: 5, 6, 7, 8a, 8b, 8c, 8d, scale, stall, all")
+		seed       = flag.Int64("seed", 1999, "random seed")
+		pages      = flag.Int("pages", 30000, "synthetic web size for crawl experiments")
+		budget     = flag.Int64("budget", 4000, "fetch budget for crawl experiments")
+		topic      = flag.String("topic", "cycling", "target topic")
+		weight     = flag.Float64("weight", 3, "page-mass multiplier for the target topic")
+		quick      = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
+		latency    = flag.Duration("latency", 50*time.Microsecond, "simulated per-page disk latency for figure 8")
+		stripes    = flag.Int("linkstripes", 0, "LINK store stripes for the scale figure (0 = one per worker)")
+		distillpar = flag.Int("distillpar", 2, "distiller join partitions for the stall figure")
 	)
 	flag.Parse()
 
@@ -156,6 +159,24 @@ func main() {
 		r, err = eval.RunCrawlScaling(eval.CrawlScalingConfig{
 			Web: heavy, Topic: *topic,
 			Budget: *budget / 4, LinkStripes: *stripes,
+		})
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+		return nil
+	})
+
+	run("stall", func() error {
+		// Crawl-while-distilling: worker stall attributable to
+		// distillation, legacy stop-the-world barrier vs the concurrent
+		// snapshot-and-go pipeline, on the link-heavy web with realistic
+		// 1999 fetch latency.
+		heavy := eval.LinkHeavyWeb(*seed, *pages/3)
+		heavy.TopicWeights = map[string]float64{*topic: *weight}
+		r, err := eval.RunDistillStall(eval.DistillStallConfig{
+			Web: heavy, Topic: *topic, Budget: *budget / 4,
+			Parallelism: *distillpar,
 		})
 		if err != nil {
 			return err

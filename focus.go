@@ -9,12 +9,18 @@
 //     documents, whose soft-focus relevance R(d) = Σ_{good c} Pr[c|d]
 //     drives crawl priorities;
 //   - a distiller (relevance-weighted HITS with nepotism filtering) that
-//     finds hub pages and periodically boosts their unvisited neighbors;
+//     finds hub pages and periodically boosts their unvisited neighbors,
+//     running concurrently with the crawl: each distillation epoch
+//     snapshots the link graph under a short barrier, computes off to the
+//     side (optionally partition-parallel), and publishes its HUBS/AUTH
+//     score tables with an atomic buffer swap — workers never stall for
+//     the HITS run itself;
 //   - a multi-threaded crawler whose frontier is host-sharded: the CRAWL
 //     relation is partitioned by server hash into per-worker shards, each
 //     with its own B+tree priority index checked out in (numtries ASC,
 //     relevance DESC, serverload ASC) order, with work stealing between
-//     shards and a stop-the-world snapshot barrier for distillation.
+//     shards; monitors read the latest published distillation epoch,
+//     which may trail the crawl by the epoch still computing.
 //
 // Quick start:
 //

@@ -132,3 +132,128 @@ func TestGoldenDistillSeed1999(t *testing.T) {
 	}
 	checkGoldenScores("indexwalk hubs", hubs2, goldenHubs)
 }
+
+// The golden data below was captured at commit ac2ed6f — the PR 2 crawler,
+// whose distillation ran entirely under the stop-the-world barrier —
+// running a Workers=1 crawl on the seed-1999 web with DistillEvery=100 and
+// the hub-neighbor boost disabled, then reading the final published
+// HUBS/AUTH tables:
+//
+//	Web:     webgraph.Config{Seed: 1999, NumPages: 6000,
+//	         TopicWeights: {"cycling": 3}}
+//	Crawl:   crawler.Config{Workers: 1, MaxFetches: 400,
+//	         DistillEvery: 100, HubNeighborBoost: -1}
+//	Seeds:   SeedTopic("cycling", 10)
+//
+// That crawl visited 386 pages, stored 6495 LINK rows, and distilled 3
+// epochs (visits 100, 200, 300). With the boost disabled, distillation has
+// no effect on the crawl itself, so the concurrent snapshot-and-go
+// pipeline must take each epoch's snapshot at exactly the same visit
+// prefix the barrier did and publish *bit-identical* scores (the serial
+// Parallelism=1 join is order-for-order the same computation over the same
+// snapshot). Scores are printed at 17 significant digits — float64
+// round-trip exact.
+const (
+	goldenConcVisited  = 386
+	goldenConcLinks    = 6495
+	goldenConcDistills = 3
+)
+
+var goldenConcHubs = []distiller.Scored{
+	{OID: 3900850264707719425, Score: 0.060928364570103963},
+	{OID: -443234747858697723, Score: 0.059142663761926076},
+	{OID: -5958830072319614383, Score: 0.042148381193638104},
+	{OID: -4768942772813177033, Score: 0.037710101378210459},
+	{OID: 899014757119504930, Score: 0.03402327500398207},
+	{OID: -403366123668497307, Score: 0.025550793885699346},
+	{OID: 9174453639826392782, Score: 0.022696363860172354},
+	{OID: -2374683016234918510, Score: 0.021445257644010191},
+	{OID: 2680398866477801265, Score: 0.01892862959242016},
+	{OID: -3767817053335472371, Score: 0.017635420354371115},
+}
+
+var goldenConcAuths = []distiller.Scored{
+	{OID: -415764216785744618, Score: 0.0095755862748901719},
+	{OID: 224734157727991059, Score: 0.0076926196761579807},
+	{OID: 3352292784326470812, Score: 0.0067774336906159284},
+	{OID: 3726598012680052343, Score: 0.0065231021695057196},
+	{OID: 6514978608054135005, Score: 0.0064895040751492454},
+	{OID: 2682362349995432056, Score: 0.0063058086330891796},
+	{OID: -2022723495761347960, Score: 0.00621179007222822},
+	{OID: 3892134436032593853, Score: 0.0060613037208618577},
+	{OID: 871896806319164610, Score: 0.005928242815785423},
+	{OID: 5251265168372474166, Score: 0.0058711207319774965},
+}
+
+// TestGoldenConcurrentDistillEquivalence runs the capture's crawl in the
+// default concurrent mode and demands bit-identical published scores —
+// the snapshot-and-go refactor must not move a single ULP relative to the
+// stop-the-world barrier it replaced.
+func TestGoldenConcurrentDistillEquivalence(t *testing.T) {
+	sys, err := NewSystem(Config{
+		Web: webgraph.Config{
+			Seed:         1999,
+			NumPages:     6000,
+			TopicWeights: map[string]float64{"cycling": 3},
+		},
+		GoodTopics: []string{"cycling"},
+		Crawl: crawler.Config{
+			Workers:    1,
+			MaxFetches: 400,
+			// One distill per hundred visits; the boost is disabled so the
+			// visit order cannot depend on *when* an epoch publishes, which
+			// is what makes barrier and concurrent runs comparable page for
+			// page (see the capture comment above).
+			DistillEvery:     100,
+			HubNeighborBoost: -1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SeedTopic("cycling", 10); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != goldenConcVisited {
+		t.Errorf("visited = %d, golden %d", res.Visited, goldenConcVisited)
+	}
+	if got := sys.Crawler.Links().Rows(); got != goldenConcLinks {
+		t.Errorf("LINK rows = %d, golden %d", got, goldenConcLinks)
+	}
+	if res.Distills != goldenConcDistills {
+		t.Errorf("distills = %d, golden %d", res.Distills, goldenConcDistills)
+	}
+	if snap, pub := sys.Crawler.DistillEpochs(); snap != pub || snap != goldenConcDistills {
+		t.Errorf("epochs snap=%d pub=%d, want both %d", snap, pub, goldenConcDistills)
+	}
+	checkBitIdentical := func(name string, got []crawler.ScoredURL, want []distiller.Scored) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d scored pages, golden has %d", name, len(got), len(want))
+		}
+		for i, w := range want {
+			if got[i].OID != w.OID {
+				t.Errorf("%s[%d] = oid %d, golden %d (ranking drifted)", name, i, got[i].OID, w.OID)
+				continue
+			}
+			if got[i].Score != w.Score {
+				t.Errorf("%s[%d] score = %.17g, golden %.17g (not bit-identical)",
+					name, i, got[i].Score, w.Score)
+			}
+		}
+	}
+	hubs, err := sys.Crawler.TopHubURLs(len(goldenConcHubs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBitIdentical("hubs", hubs, goldenConcHubs)
+	auths, err := sys.Crawler.TopAuthorityURLs(len(goldenConcAuths))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBitIdentical("auth", auths, goldenConcAuths)
+}

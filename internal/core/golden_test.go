@@ -64,6 +64,11 @@ func TestGoldenHarvestSeed1(t *testing.T) {
 			Workers:      1,
 			MaxFetches:   400,
 			DistillEvery: 150,
+			// Barrier mode keeps the visit order a pure function of the
+			// checkout semantics this golden pins: concurrent distillation
+			// publishes its hub-neighbor boosts asynchronously, which would
+			// make the order depend on epoch timing.
+			DistillBarrier: true,
 		},
 	})
 	if err != nil {

@@ -58,8 +58,18 @@ type Config struct {
 	// DistillEvery runs the distiller after every k page visits
 	// (0 disables distillation).
 	DistillEvery int64
-	// Distill configures those runs.
+	// Distill configures those runs (including Distill.Parallelism, the
+	// partition count of the parallel HITS join).
 	Distill distiller.Config
+	// DistillBarrier selects the legacy stop-the-world distillation: the
+	// whole HITS run executes under the full barrier and every worker
+	// stalls for its duration. The default (false) is the snapshot-and-go
+	// pipeline: the barrier shrinks to a short copy phase and the
+	// distillation runs on a background goroutine against the immutable
+	// snapshot, publishing HUBS/AUTH with an atomic buffer swap. Barrier
+	// mode exists for A/B stall measurement and for tests that need the
+	// crawl's visit order to be independent of distillation timing.
+	DistillBarrier bool
 	// HubNeighborBoost is the relevance assigned to unvisited pages cited
 	// by top-decile hubs after each distillation (default 0.75; 0 keeps the
 	// default, negative disables boosting).
@@ -110,6 +120,15 @@ type Result struct {
 	Stagnated bool // frontier drained before the budget was spent
 	Distills  int
 	Elapsed   time.Duration
+	// DistillStall is the total time crawl workers spent stopped for
+	// distillation — the time the world-stopped phase was held. In
+	// barrier mode the whole HITS run happens inside it; in concurrent
+	// mode only the snapshot copy does.
+	DistillStall time.Duration
+	// DistillCompute is the total time spent computing HITS epochs
+	// (inside the barrier in barrier mode, on the background goroutine in
+	// concurrent mode).
+	DistillCompute time.Duration
 }
 
 // Crawler owns the crawl state. The CRAWL relation is partitioned by host
@@ -130,9 +149,18 @@ type Result struct {
 // workers pop from the shard whose head is globally best, so the global
 // order holds up to hint staleness and concurrent checkouts. With
 // FrontierShards=1 the pre-shard global order is reproduced exactly.
-// Distillation takes a stop-the-world barrier (every link stripe lock, then
-// every shard lock, each ascending, then the global lock) and runs against
-// a consistent cross-shard snapshot.
+//
+// Distillation is epoch-based and (by default) concurrent: the barrier
+// (every link stripe lock, then every shard lock, each ascending, then the
+// global lock) is held only for a short snapshot phase — drain pendingFwd,
+// copy the LINK edge set per stripe, copy the oid→relevance view — then
+// workers resume immediately while a single distiller goroutine computes
+// queued epochs in order into the spare HUBS/AUTH buffer, publishing each
+// by swapping the buffer pointers under the global mutex. Snapshot points
+// are therefore an exact function of the visit sequence even when epochs
+// compute slowly; monitors read scores that may lag the crawl by the
+// epochs still queued (typically one — see DistillEpochs).
+// Config.DistillBarrier restores the legacy whole-run-under-barrier mode.
 //
 // Lock ordering, from the bottom of the tower up: link stripe mutexes
 // (ascending id) < frontier shard mutex (at most one, except under the
@@ -151,12 +179,15 @@ type Crawler struct {
 	docs   []*docStripe
 
 	// mu guards the harvest log, visit sequencing, distillation state
-	// (HUBS/AUTH), the policy, and the table catalog. Lock ordering: any
-	// number of link stripe locks and any one shard mutex may be held when
-	// acquiring mu; never the reverse.
+	// (the published/spare HUBS/AUTH buffer pointers), the policy, and the
+	// table catalog. Lock ordering: any number of link stripe locks and
+	// any one shard mutex may be held when acquiring mu; never the
+	// reverse.
 	mu        sync.Mutex
-	hubs      *relstore.Table
+	hubs      *relstore.Table // published score buffers: monitors read these
 	auth      *relstore.Table
+	hubsAlt   *relstore.Table // spare buffers: owned by the in-flight epoch
+	authAlt   *relstore.Table
 	policy    Policy
 	harvest   []HarvestPoint
 	visitSeq  int64
@@ -169,6 +200,24 @@ type Crawler struct {
 	// barrier can drain it and never observe a stale forward weight — the
 	// same guarantee the old under-one-mutex refresh gave.
 	pendingFwd map[int64]float64
+
+	// Concurrent-distillation pipeline state. Epochs are snapshotted under
+	// the barrier and appended to distillJobs (guarded by mu, so queue
+	// order is epoch order by construction); a single distiller goroutine
+	// (distillLoop, started by Run) pops and computes them in order, woken
+	// through the distillKick semaphore. Workers never wait for an epoch
+	// to compute — the queue is unbounded, sized in practice by
+	// budget/DistillEvery. snapEpoch counts snapshots taken, pubEpoch the
+	// latest published epoch; the gap is the epochs still queued or
+	// computing — the stale-score window monitors may observe.
+	distillJobs []distillJob
+	distillKick chan struct{}
+	snapEpoch   atomic.Int64
+	pubEpoch    atomic.Int64
+	stallNS     atomic.Int64
+	computeNS   atomic.Int64
+	distillMu   sync.Mutex
+	distillErr  error
 
 	fetches  atomic.Int64
 	visited  atomic.Int64
@@ -186,12 +235,13 @@ type Crawler struct {
 // be trained and its taxonomy marked with the crawl's good topics.
 func New(db *relstore.DB, model *classifier.Model, fetcher Fetcher, cfg Config) (*Crawler, error) {
 	c := &Crawler{
-		cfg:        cfg.withDefaults(),
-		db:         db,
-		model:      model,
-		fetcher:    fetcher,
-		policy:     AggressiveDiscovery(),
-		pendingFwd: make(map[int64]float64),
+		cfg:         cfg.withDefaults(),
+		db:          db,
+		model:       model,
+		fetcher:     fetcher,
+		policy:      AggressiveDiscovery(),
+		pendingFwd:  make(map[int64]float64),
+		distillKick: make(chan struct{}, 1),
 	}
 	if c.cfg.Mode == ModeUnfocused {
 		c.policy = FIFO()
@@ -207,20 +257,32 @@ func New(db *relstore.DB, model *classifier.Model, fetcher Fetcher, cfg Config) 
 	if c.links, err = linkgraph.New(db, c.cfg.LinkStripes); err != nil {
 		return nil, err
 	}
-	if c.hubs, err = db.CreateTable("HUBS", distiller.HubsAuthSchema()); err != nil {
+	// HUBS and AUTH are double-buffered: the published pair is what
+	// monitors read; the spare pair is the scratch space the next
+	// distillation epoch builds into before the swap publishes it. Roles
+	// alternate, so the catalog names carry no meaning beyond identity.
+	scoreTable := func(name string) (*relstore.Table, error) {
+		tb, err := db.CreateTable(name, distiller.HubsAuthSchema())
+		if err != nil {
+			return nil, err
+		}
+		if _, err = tb.AddIndex("oid", func(t relstore.Tuple) []byte {
+			return relstore.EncodeKey(t[0])
+		}); err != nil {
+			return nil, err
+		}
+		return tb, nil
+	}
+	if c.hubs, err = scoreTable("HUBS"); err != nil {
 		return nil, err
 	}
-	if _, err = c.hubs.AddIndex("oid", func(t relstore.Tuple) []byte {
-		return relstore.EncodeKey(t[0])
-	}); err != nil {
+	if c.auth, err = scoreTable("AUTH"); err != nil {
 		return nil, err
 	}
-	if c.auth, err = db.CreateTable("AUTH", distiller.HubsAuthSchema()); err != nil {
+	if c.hubsAlt, err = scoreTable("HUBS#spare"); err != nil {
 		return nil, err
 	}
-	if _, err = c.auth.AddIndex("oid", func(t relstore.Tuple) []byte {
-		return relstore.EncodeKey(t[0])
-	}); err != nil {
+	if c.authAlt, err = scoreTable("AUTH#spare"); err != nil {
 		return nil, err
 	}
 	for i := 0; i < c.cfg.LinkStripes; i++ {
@@ -250,6 +312,10 @@ func (c *Crawler) docFor(oid int64) *docStripe {
 // Tables exposes the crawl relations (for the distiller, monitors, and
 // experiment harnesses). The Crawl table is a freshly materialized
 // cross-shard snapshot taken under the stop-the-world barrier; see Crawl.
+// Hubs and Auth are the currently *published* score buffers: while a crawl
+// runs they may lag the link graph by up to one distillation epoch (see
+// DistillEpochs), and running a distiller directly over them is only safe
+// once Run has returned (a concurrent epoch would swap the buffers away).
 func (c *Crawler) Tables() (distiller.Tables, error) {
 	c.lockAll()
 	defer c.unlockAll()
@@ -378,6 +444,15 @@ func (c *Crawler) Seed(urls []string) error {
 // stagnates, then reports totals.
 func (c *Crawler) Run() (Result, error) {
 	start := time.Now()
+	var distWG sync.WaitGroup
+	distStop := make(chan struct{})
+	if c.cfg.DistillEvery > 0 && !c.cfg.DistillBarrier {
+		distWG.Add(1)
+		go func() {
+			defer distWG.Done()
+			c.distillLoop(distStop)
+		}()
+	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, c.cfg.Workers)
 	for w := 0; w < c.cfg.Workers; w++ {
@@ -392,20 +467,32 @@ func (c *Crawler) Run() (Result, error) {
 		}()
 	}
 	wg.Wait()
+	// Stop the distiller and drain queued epochs: Run returns with the
+	// last snapshot's scores published and no background goroutine alive.
+	close(distStop)
+	distWG.Wait()
 	close(errCh)
 	if err := <-errCh; err != nil {
 		return Result{}, err
+	}
+	c.distillMu.Lock()
+	derr := c.distillErr
+	c.distillMu.Unlock()
+	if derr != nil {
+		return Result{}, derr
 	}
 	c.mu.Lock()
 	distills := c.distills
 	c.mu.Unlock()
 	res := Result{
-		Visited:  c.visited.Load(),
-		Fetches:  c.fetches.Load(),
-		Failed:   c.failed.Load(),
-		Dead:     c.dead.Load(),
-		Distills: distills,
-		Elapsed:  time.Since(start),
+		Visited:        c.visited.Load(),
+		Fetches:        c.fetches.Load(),
+		Failed:         c.failed.Load(),
+		Dead:           c.dead.Load(),
+		Distills:       distills,
+		Elapsed:        time.Since(start),
+		DistillStall:   time.Duration(c.stallNS.Load()),
+		DistillCompute: time.Duration(c.computeNS.Load()),
 	}
 	res.Stagnated = c.frontierEmpty() &&
 		res.Fetches < c.cfg.MaxFetches &&
@@ -707,26 +794,129 @@ func (c *Crawler) enqueueTarget(e linkgraph.Edge, dstURL string, srcRel float64)
 	return nil
 }
 
-// distill stops the world (all stripe locks, then all shard locks, then
-// the global lock), runs the join-based distiller over a consistent
+// distill runs one distillation cycle: the legacy stop-the-world barrier
+// when Config.DistillBarrier is set, the snapshot-and-go pipeline
+// otherwise. Callers hold no locks.
+func (c *Crawler) distill() error {
+	if c.cfg.DistillBarrier {
+		return c.distillBarrier()
+	}
+	return c.distillConcurrent()
+}
+
+// distillBarrier stops the world (all stripe locks, then all shard locks,
+// then the global lock), runs the join-based distiller over a consistent
 // cross-shard snapshot of the crawl graph, and then raises the priority of
 // unvisited pages cited by top-decile hubs — the monitoring workflow shown
 // at the end of §3.7. The snapshot is an in-memory oid -> relevance view
 // handed to the distiller's rho filter, not a materialized table (which
 // would abandon O(|CRAWL|) pages on every distill cycle); the link graph is
 // read through its barrier-locked view, so no copy of LINK is made either.
-func (c *Crawler) distill() error {
+// Every worker stalls for the whole HITS run — the cost the concurrent
+// pipeline removes, kept measurable through Result.DistillStall.
+func (c *Crawler) distillBarrier() error {
+	t0 := time.Now()
+	c.lockAll()
+	defer func() {
+		c.unlockAll()
+		c.stallNS.Add(time.Since(t0).Nanoseconds())
+	}()
+	c.distills++
+	rel, err := c.drainAndRelevanceLocked()
+	if err != nil {
+		return err
+	}
+	dcfg := c.cfg.Distill
+	dcfg.Relevance = rel
+	tb := distiller.Tables{Link: c.links.LockedView(), Hubs: c.hubs, Auth: c.auth}
+	tc := time.Now()
+	if _, err := distiller.RunJoin(c.db, tb, dcfg); err != nil {
+		return err
+	}
+	c.computeNS.Add(time.Since(tc).Nanoseconds())
+	e := c.snapEpoch.Add(1)
+	c.pubEpoch.Store(e)
+	// The boost-target derivation is the same boostDelta the concurrent
+	// pipeline uses, read through the barrier-locked link view — one
+	// predicate, two modes, no drift. The barrier holds every lock, so
+	// targets apply directly.
+	boosts, err := c.boostDelta(c.hubs, c.links.LockedView())
+	if err != nil {
+		return err
+	}
+	for _, d := range boosts {
+		if err := c.shardFor(d.sid).boostLocked(d.oid, c.cfg.HubNeighborBoost); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// distillJob is one snapshotted epoch awaiting computation.
+type distillJob struct {
+	epoch int64
+	snap  *linkgraph.Snapshot
+	rel   map[int64]float64
+}
+
+// distillConcurrent is the snapshot-and-go pipeline's producer side: the
+// barrier shrinks to a copy phase — drain pendingFwd, snapshot the LINK
+// stripes, copy the oid→relevance view — the epoch is queued for the
+// distiller goroutine, and the worker resumes crawling immediately. The
+// snapshot is appended to the job queue *inside* the barrier (the queue is
+// guarded by the global mutex), so queue order always equals epoch order
+// even when triggers race. Only the copy phase is charged to
+// Result.DistillStall — workers never wait for an epoch to compute.
+func (c *Crawler) distillConcurrent() error {
+	t0 := time.Now()
+	err := c.distillSnapshot()
+	c.stallNS.Add(time.Since(t0).Nanoseconds())
+	if err != nil {
+		return err
+	}
+	// Wake the distiller (semaphore of one: a pending kick already covers
+	// this job, since the loop drains the whole queue per kick).
+	select {
+	case c.distillKick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// distillSnapshot is the short world-stopped phase: under the full barrier
+// it drains pending incoming-weight sweeps (same guarantee as the legacy
+// barrier — no stale radius-1 weight on an edge into a visited page),
+// copies every LINK stripe and the cross-shard relevance view, and queues
+// the epoch.
+func (c *Crawler) distillSnapshot() error {
 	c.lockAll()
 	defer c.unlockAll()
 	c.distills++
-	// Drain incoming-weight sweeps still in flight: a worker past its visit
-	// persist but short of its UpdateIncomingFwd holds no locks, so the
-	// barrier applies the sweep itself (idempotent — the worker's own sweep
-	// writes the same value) and the distiller below never sees a stale
-	// radius-1 weight on an edge into a visited page.
+	rel, err := c.drainAndRelevanceLocked()
+	if err != nil {
+		return err
+	}
+	snap, err := c.links.SnapshotLocked()
+	if err != nil {
+		return err
+	}
+	c.distillJobs = append(c.distillJobs, distillJob{epoch: c.snapEpoch.Add(1), snap: snap, rel: rel})
+	return nil
+}
+
+// drainAndRelevanceLocked is the part of the world-stopped phase both
+// distillation modes share — extracting it keeps their semantics pinned
+// to each other (the concurrent golden depends on that). It drains
+// incoming-weight sweeps still in flight — a worker past its visit
+// persist but short of its UpdateIncomingFwd holds no locks, so the
+// barrier applies the sweep itself (idempotent: the worker's own sweep
+// writes the same value) and the distiller never sees a stale radius-1
+// weight on an edge into a visited page — and then copies the cross-shard
+// oid -> relevance view. The barrier must be held.
+func (c *Crawler) drainAndRelevanceLocked() (map[int64]float64, error) {
 	for oid, pendRel := range c.pendingFwd {
 		if err := c.links.UpdateIncomingFwdLocked(oid, pendRel); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	rel := make(map[int64]float64)
@@ -735,67 +925,171 @@ func (c *Crawler) distill() error {
 		return false, nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
+	return rel, nil
+}
+
+// distillLoop is the single distiller goroutine: it computes queued epochs
+// in order until stop closes *and* the queue is drained, so Run returns
+// with every snapshot published. A failed epoch records the error, aborts
+// the crawl, and the loop keeps draining (skipping computation) so workers
+// are never blocked on an unconsumed queue.
+func (c *Crawler) distillLoop(stop <-chan struct{}) {
+	for {
+		select {
+		case <-c.distillKick:
+			c.drainDistillJobs()
+		case <-stop:
+			c.drainDistillJobs()
+			return
+		}
+	}
+}
+
+func (c *Crawler) drainDistillJobs() {
+	for {
+		c.mu.Lock()
+		if len(c.distillJobs) == 0 {
+			c.mu.Unlock()
+			return
+		}
+		job := c.distillJobs[0]
+		// Zero the popped slot: the backing array outlives the pop, and a
+		// job pins an O(edges) snapshot plus a relevance map.
+		c.distillJobs[0] = distillJob{}
+		c.distillJobs = c.distillJobs[1:]
+		c.mu.Unlock()
+		c.distillMu.Lock()
+		failed := c.distillErr != nil
+		c.distillMu.Unlock()
+		if failed {
+			continue
+		}
+		if err := c.distillEpoch(job); err != nil {
+			c.distillMu.Lock()
+			if c.distillErr == nil {
+				c.distillErr = err
+			}
+			c.distillMu.Unlock()
+			c.stop.Store(true)
+		}
+	}
+}
+
+// distillEpoch computes one HITS epoch off to the side and publishes it.
+// The job's snapshot and relevance view are immutable, and the spare
+// HUBS/AUTH buffers belong exclusively to this goroutine between swaps, so
+// the whole computation runs without any crawler lock. Publish order
+// matters: the scratch tables are finished first, the boost delta is
+// derived from them and the snapshot while still private, then the buffer
+// pointers swap under the global mutex (readers see the old pair or the
+// new pair, never a mix), pubEpoch advances, and only then is the §3.4
+// hub-neighbor boost applied shard by shard against the live frontier.
+func (c *Crawler) distillEpoch(job distillJob) error {
+	t0 := time.Now()
+	defer func() { c.computeNS.Add(time.Since(t0).Nanoseconds()) }()
+	c.mu.Lock()
+	scratchHubs, scratchAuth := c.hubsAlt, c.authAlt
+	c.mu.Unlock()
 	dcfg := c.cfg.Distill
-	dcfg.Relevance = rel
-	tb := distiller.Tables{Link: c.links.LockedView(), Hubs: c.hubs, Auth: c.auth}
+	dcfg.Relevance = job.rel
+	tb := distiller.Tables{Link: job.snap, Hubs: scratchHubs, Auth: scratchAuth}
 	if _, err := distiller.RunJoin(c.db, tb, dcfg); err != nil {
 		return err
 	}
-	if c.cfg.HubNeighborBoost < 0 {
-		return nil
-	}
-	psi, err := distiller.Percentile(c.hubs, 0.9)
-	if err != nil || psi == 0 {
+	boosts, err := c.boostDelta(scratchHubs, job.snap)
+	if err != nil {
 		return err
 	}
+
+	// Publish: swap the score buffers. The previously published pair
+	// becomes the next epoch's scratch space.
+	c.mu.Lock()
+	c.hubs, c.hubsAlt = scratchHubs, c.hubs
+	c.auth, c.authAlt = scratchAuth, c.auth
+	c.pubEpoch.Store(job.epoch)
+	c.mu.Unlock()
+
+	// Apply the boost delta against the live shards, one shard lock at a
+	// time — the policy update that used to run inside the barrier.
+	for _, d := range boosts {
+		sh := c.shardFor(d.sid)
+		sh.mu.Lock()
+		err := sh.boostLocked(d.oid, c.cfg.HubNeighborBoost)
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// boostTarget is one unvisited page cited by a top-decile hub.
+type boostTarget struct {
+	oid int64
+	sid int32
+}
+
+// topDecileHubs returns the oids of hubs scoring strictly above the 90th
+// percentile of the given score table, in scan order. Both distillation
+// modes route their §3.4 hub selection through here, so the boost
+// semantics cannot drift between them. Returns nil when the table is
+// empty or every score is zero.
+func topDecileHubs(hubs *relstore.Table) ([]int64, error) {
+	psi, err := distiller.Percentile(hubs, 0.9)
+	if err != nil || psi == 0 {
+		return nil, err
+	}
 	var tops []int64
-	err = c.hubs.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+	err = hubs.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
 		if t[1].Float() > psi {
 			tops = append(tops, t[0].Int())
 		}
 		return false, nil
 	})
-	if err != nil {
-		return err
+	return tops, err
+}
+
+// boostDelta derives the §3.4 policy update from a hubs score table and a
+// link view (the epoch's immutable snapshot in concurrent mode, the
+// barrier-locked store in barrier mode): the cross-server targets of
+// every hub above the 90th score percentile. The target *set* is what
+// matters — boosts are idempotent threshold raises, so application order
+// is irrelevant.
+func (c *Crawler) boostDelta(hubs *relstore.Table, links distiller.LinkRel) ([]boostTarget, error) {
+	if c.cfg.HubNeighborBoost < 0 {
+		return nil, nil
 	}
-	for _, hub := range tops {
-		type target struct {
-			oid int64
-			sid int32
-		}
-		var dsts []target
-		err := c.links.ScanBySrcLocked(hub, func(e linkgraph.Edge) (bool, error) {
-			if e.SidSrc != e.SidDst {
-				dsts = append(dsts, target{e.Dst, e.SidDst})
-			}
-			return false, nil
-		})
-		if err != nil {
-			return err
-		}
-		for _, d := range dsts {
-			sh := c.shardFor(d.sid)
-			rid, row, ok, err := sh.lookupLocked(d.oid)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				continue
-			}
-			if int32(row[CStatus].Int()) == StatusFrontier &&
-				row[CTries].Int() == 0 &&
-				row[CRel].Float() < c.cfg.HubNeighborBoost {
-				row[CRel] = relstore.F64(c.cfg.HubNeighborBoost)
-				if err := sh.crawl.Update(rid, row); err != nil {
-					return err
-				}
-				sh.improveHeadLocked(sh.policy.Key(row))
-			}
-		}
+	hubList, err := topDecileHubs(hubs)
+	if err != nil || len(hubList) == 0 {
+		return nil, err
 	}
-	return nil
+	tops := make(map[int64]bool, len(hubList))
+	for _, hub := range hubList {
+		tops[hub] = true
+	}
+	var out []boostTarget
+	err = links.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+		e := linkgraph.EdgeOf(t)
+		if tops[e.Src] && e.SidSrc != e.SidDst {
+			out = append(out, boostTarget{e.Dst, e.SidDst})
+		}
+		return false, nil
+	})
+	return out, err
+}
+
+// DistillEpochs reports the distillation epoch counters: snapshotted is
+// the number of snapshot phases taken, published the epoch of the score
+// tables monitors currently read. published trails snapshotted by the
+// epochs still queued or computing in the background (typically one, more
+// only when epochs are snapshotted faster than they compute); they are
+// equal when the pipeline is idle — always in barrier mode, and always by
+// the time Run returns. Monitors that need scores no older than a given
+// point can poll published.
+func (c *Crawler) DistillEpochs() (snapshotted, published int64) {
+	return c.snapEpoch.Load(), c.pubEpoch.Load()
 }
 
 // HarvestLog returns the visit-ordered harvest points (copy).

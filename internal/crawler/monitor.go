@@ -15,6 +15,14 @@ import (
 // diagnosis by class census, and the missed-neighbors-of-great-hubs probe.
 // Each query takes the stop-the-world barrier so it sees a consistent
 // cross-shard state even while workers run.
+//
+// Staleness contract: CRAWL and LINK reads are exact as of the barrier,
+// but HUBS/AUTH are the *published* distillation buffers — under the
+// default concurrent distillation they may lag the crawl by up to one
+// epoch (the snapshot currently computing in the background; see
+// Crawler.DistillEpochs). A query never observes a torn or half-written
+// score table: epochs build in a private buffer and publish by swapping
+// the pointers under the global mutex, which every query here holds.
 
 // HarvestBucket is one window of the harvest-rate monitor (the applet's
 // "select minute(lastvisited), avg(exp(relevance))" query, with visit
@@ -159,12 +167,12 @@ func (c *Crawler) MissedNeighbors(percentile float64) ([]MissedNeighbor, error) 
 
 // TopHubURLs returns the k best hubs with URLs resolved.
 func (c *Crawler) TopHubURLs(k int) ([]ScoredURL, error) {
-	return c.topURLs(c.hubs, k)
+	return c.topURLs(true, k)
 }
 
 // TopAuthorityURLs returns the k best authorities with URLs resolved.
 func (c *Crawler) TopAuthorityURLs(k int) ([]ScoredURL, error) {
-	return c.topURLs(c.auth, k)
+	return c.topURLs(false, k)
 }
 
 // ScoredURL pairs a URL with a distilled score.
@@ -174,9 +182,16 @@ type ScoredURL struct {
 	Score float64
 }
 
-func (c *Crawler) topURLs(tb *relstore.Table, k int) ([]ScoredURL, error) {
+// topURLs resolves the published score buffer *under the barrier* — the
+// HUBS/AUTH pointers swap when a concurrent distillation epoch publishes,
+// so they may only be dereferenced while holding the global mutex.
+func (c *Crawler) topURLs(hubs bool, k int) ([]ScoredURL, error) {
 	c.lockAll()
 	defer c.unlockAll()
+	tb := c.auth
+	if hubs {
+		tb = c.hubs
+	}
 	top, err := distiller.Top(tb, k)
 	if err != nil {
 		return nil, err

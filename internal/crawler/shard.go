@@ -193,6 +193,28 @@ func (sh *shard) checkout(hook func(*shard, relstore.Tuple), inflight *atomic.In
 	return rid, row, true, nil
 }
 
+// boostLocked raises an unvisited, never-tried frontier row's relevance to
+// boost (when currently lower) and republishes the head hint — the §3.4
+// hub-neighbor policy update, applied either under the barrier (legacy
+// distillation) or shard by shard as the post-publish delta of a
+// concurrent epoch. sh.mu must be held.
+func (sh *shard) boostLocked(oid int64, boost float64) error {
+	rid, row, ok, err := sh.lookupLocked(oid)
+	if err != nil || !ok {
+		return err
+	}
+	if int32(row[CStatus].Int()) == StatusFrontier &&
+		row[CTries].Int() == 0 &&
+		row[CRel].Float() < boost {
+		row[CRel] = relstore.F64(boost)
+		if err := sh.crawl.Update(rid, row); err != nil {
+			return err
+		}
+		sh.improveHeadLocked(sh.policy.Key(row))
+	}
+	return nil
+}
+
 // lookupLocked finds the row for oid in this shard; sh.mu must be held.
 func (sh *shard) lookupLocked(oid int64) (relstore.RID, relstore.Tuple, bool, error) {
 	rid, ok, err := sh.oidIx.Lookup(relstore.EncodeKey(relstore.I64(oid)))

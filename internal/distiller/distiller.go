@@ -17,6 +17,7 @@ package distiller
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -62,6 +63,17 @@ type Config struct {
 	Relevance map[int64]float64
 	// SortMem is the external sort workspace for the join strategy.
 	SortMem int
+	// Parallelism splits each half-iteration into this many hash
+	// partitions executed concurrently (default 1 — the exact serial
+	// plan, bit-identical to the pre-partition code). Partitioning is by
+	// hash of the *group* oid (the side being scored), so per-partition
+	// group sums are disjoint and the merge is concatenation; P>1
+	// reproduces P=1 scores up to floating-point summation order (within
+	// 1e-12 after normalization, pinned by the partition property test).
+	// With Parallelism > 1 the LINK relation is materialized once per
+	// half-iteration, so Tables.Link implementations need not support
+	// concurrent iteration.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +82,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Rho == 0 {
 		c.Rho = 0.2
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
 	}
 	return c
 }
@@ -176,31 +191,74 @@ type Scored struct {
 	Score float64
 }
 
-// Top returns the k highest-scored rows of a HUBS/AUTH table.
+// scoredBetter reports whether a outranks b in Top's output order
+// (score DESC, oid ASC on ties) — a strict total order, so the bounded
+// selection below is deterministic regardless of scan order.
+func scoredBetter(a, b Scored) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.OID < b.OID
+}
+
+// Top returns the k highest-scored rows of a HUBS/AUTH table, in
+// (score DESC, oid ASC) order. Monitors run this over the full HUBS/AUTH
+// relation on every query, so selection is a bounded min-heap of size k
+// (heap[0] is the weakest kept row): O(n log k) and k live entries,
+// against the old sort-everything O(n log n) with an n-row copy.
 func Top(tb *relstore.Table, k int) ([]Scored, error) {
-	var all []Scored
+	if k <= 0 {
+		return nil, nil
+	}
+	heap := make([]Scored, 0, k)
 	err := tb.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
-		all = append(all, Scored{OID: t[0].Int(), Score: t[1].Float()})
+		s := Scored{OID: t[0].Int(), Score: t[1].Float()}
+		if len(heap) < k {
+			heap = append(heap, s)
+			// Sift up: parent must not outrank its children in *reverse*
+			// order (the heap keeps the weakest at the root).
+			for i := len(heap) - 1; i > 0; {
+				parent := (i - 1) / 2
+				if !scoredBetter(heap[parent], heap[i]) {
+					break
+				}
+				heap[parent], heap[i] = heap[i], heap[parent]
+				i = parent
+			}
+			return false, nil
+		}
+		if !scoredBetter(s, heap[0]) {
+			return false, nil // weaker than everything kept
+		}
+		heap[0] = s
+		for i := 0; ; {
+			weakest := i
+			if l := 2*i + 1; l < len(heap) && scoredBetter(heap[weakest], heap[l]) {
+				weakest = l
+			}
+			if r := 2*i + 2; r < len(heap) && scoredBetter(heap[weakest], heap[r]) {
+				weakest = r
+			}
+			if weakest == i {
+				break
+			}
+			heap[i], heap[weakest] = heap[weakest], heap[i]
+			i = weakest
+		}
 		return false, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Score != all[j].Score {
-			return all[i].Score > all[j].Score
-		}
-		return all[i].OID < all[j].OID
-	})
-	if len(all) > k {
-		all = all[:k]
-	}
-	return all, nil
+	sort.Slice(heap, func(i, j int) bool { return scoredBetter(heap[i], heap[j]) })
+	return heap, nil
 }
 
 // Percentile returns the p-th percentile (0..1) score of a score table,
 // used by the monitoring query that finds neglected neighbors of great
-// hubs (§3.7).
+// hubs (§3.7). The rank is nearest (round(p*(n-1))), not floored — the
+// floor truncation systematically biased every percentile low, most
+// visibly the top-decile hub threshold on small score tables.
 func Percentile(tb *relstore.Table, p float64) (float64, error) {
 	var scores []float64
 	err := tb.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
@@ -211,7 +269,13 @@ func Percentile(tb *relstore.Table, p float64) (float64, error) {
 		return 0, err
 	}
 	sort.Float64s(scores)
-	i := int(p * float64(len(scores)-1))
+	i := int(math.Round(p * float64(len(scores)-1)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(scores) {
+		i = len(scores) - 1
+	}
 	return scores[i], nil
 }
 

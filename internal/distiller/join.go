@@ -1,6 +1,7 @@
 package distiller
 
 import (
+	"sync"
 	"time"
 
 	"focus/internal/relstore"
@@ -35,8 +36,12 @@ func RunJoin(db *relstore.DB, tb Tables, cfg Config) (Breakdown, error) {
 // joinHalf computes one half-iteration. fwd=true is UpdateAuth (hub scores
 // flow forward to authorities, with the relevance > rho filter); fwd=false
 // is UpdateHubs (authority scores flow backward, no filter) — the asymmetry
-// of Figure 4.
+// of Figure 4. With cfg.Parallelism > 1 the plan is split into hash
+// partitions of the group column and executed concurrently (joinHalfPar).
 func joinHalf(db *relstore.DB, tb Tables, cfg Config, fwd bool) (Breakdown, error) {
+	if cfg.Parallelism > 1 {
+		return joinHalfPar(db, tb, cfg, fwd)
+	}
 	var bd Breakdown
 	bp := db.Pool()
 	src, dst := tb.Hubs, tb.Auth
@@ -84,10 +89,7 @@ func joinHalf(db *relstore.DB, tb Tables, cfg Config, fwd bool) (Breakdown, erro
 		}
 		return relstore.Tuple{t[groupCol], relstore.F64(t[7].Float() * w)}
 	})
-	pairSchema := relstore.NewSchema(
-		relstore.Column{Name: "oid", Kind: relstore.KInt64},
-		relstore.Column{Name: "score", Kind: relstore.KFloat64},
-	)
+	pairSchema := HubsAuthSchema() // (oid, score) — the contribution pairs
 	rows, err := relstore.Collect(contrib)
 	if err != nil {
 		return bd, err
@@ -150,4 +152,171 @@ func joinHalf(db *relstore.DB, tb Tables, cfg Config, fwd bool) (Breakdown, erro
 	}
 	bd.Update += time.Since(t0)
 	return bd, nil
+}
+
+// joinHalfPar is joinHalf split into cfg.Parallelism hash partitions of the
+// group column. Each partition owns a disjoint set of group oids, so every
+// partition runs the full sort → merge-join → rho-filter → group-sum chain
+// independently on a worker goroutine (spilling through the shared,
+// thread-safe buffer pool), and the merge of the partial aggregates is pure
+// concatenation. The score table and LINK are read single-threaded up front
+// (tables are single-reader structures); only the partitioned operator
+// chain runs concurrently. Per-partition Breakdowns are summed, so the
+// breakdown reports work done, not wall clock.
+func joinHalfPar(db *relstore.DB, tb Tables, cfg Config, fwd bool) (Breakdown, error) {
+	var bd Breakdown
+	bp := db.Pool()
+	src, dst := tb.Hubs, tb.Auth
+	joinCol, groupCol := lSrc, lDst
+	if !fwd {
+		src, dst = tb.Auth, tb.Hubs
+		joinCol, groupCol = lDst, lSrc
+	}
+
+	// Scan + filter LINK, partitioned by hash(group oid).
+	t0 := time.Now()
+	linkIt, err := tb.Link.Iter()
+	if err != nil {
+		return bd, err
+	}
+	parts, err := relstore.PartitionByKey(
+		relstore.FilterIter(linkIt, cfg.keepEdge),
+		cfg.Parallelism, relstore.KeyOfCols(groupCol))
+	if err != nil {
+		return bd, err
+	}
+	bd.Scan += time.Since(t0)
+
+	// Sort the source score table by oid once; every partition merge-joins
+	// against its own iterator over the shared, read-only row slice.
+	t0 = time.Now()
+	srcIt, err := src.Iter()
+	if err != nil {
+		return bd, err
+	}
+	srcSorted, err := relstore.SortByCols(bp, src.Schema, srcIt, cfg.SortMem, "oid")
+	if err != nil {
+		return bd, err
+	}
+	srcRows, err := relstore.Collect(srcSorted)
+	if err != nil {
+		return bd, err
+	}
+	bd.Sort += time.Since(t0)
+
+	rel := cfg.Relevance
+	if fwd && rel == nil && tb.Crawl != nil {
+		t0 = time.Now()
+		if rel, err = relevanceOf(tb.Crawl); err != nil {
+			return bd, err
+		}
+		bd.Lookup += time.Since(t0)
+	}
+
+	// Sort every partition's edges by the join column concurrently (the
+	// spills allocate private run pages, so the sorts share the pool
+	// freely), then fan the per-partition join chains out over the sorted
+	// runs.
+	t0 = time.Now()
+	sortedParts, err := relstore.SortPartitions(bp, linkSchema(), parts,
+		relstore.KeyOfCols(joinCol), cfg.SortMem)
+	if err != nil {
+		return bd, err
+	}
+	bd.Sort += time.Since(t0)
+
+	pairSchema := HubsAuthSchema() // (oid, score) — the contribution pairs
+	outs := make([][]relstore.Tuple, len(parts))
+	bds := make([]Breakdown, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for pi := range parts {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			outs[pi], errs[pi] = joinPartition(bp, pairSchema, sortedParts[pi], srcRows,
+				cfg, fwd, rel, joinCol, groupCol, &bds[pi])
+		}(pi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return bd, err
+		}
+	}
+	for _, pbd := range bds {
+		bd.add(pbd)
+	}
+
+	// Partitions hold disjoint group oids: concatenate, normalize, write.
+	t0 = time.Now()
+	var sum float64
+	for _, out := range outs {
+		for _, r := range out {
+			sum += r[1].Float()
+		}
+	}
+	if err := dst.Truncate(); err != nil {
+		return bd, err
+	}
+	for _, out := range outs {
+		for _, r := range out {
+			score := r[1].Float()
+			if sum > 0 {
+				score /= sum
+			}
+			if _, err := dst.Insert(relstore.Tuple{r[0], relstore.F64(score)}); err != nil {
+				return bd, err
+			}
+		}
+	}
+	bd.Update += time.Since(t0)
+	return bd, nil
+}
+
+// joinPartition runs one partition's merge-join + group-sum chain over its
+// already-sorted edge run and returns the (group oid, raw summed score)
+// rows.
+func joinPartition(bp *relstore.BufferPool, pairSchema *relstore.Schema,
+	linkSorted relstore.Iterator, srcRows []relstore.Tuple, cfg Config, fwd bool,
+	rel map[int64]float64, joinCol, groupCol int, bd *Breakdown) ([]relstore.Tuple, error) {
+
+	t0 := time.Now()
+	joined := relstore.MergeJoin(linkSorted, relstore.NewSliceIter(srcRows),
+		relstore.KeyOfCols(joinCol), relstore.KeyOfCols(0), false, 0)
+	contrib := relstore.MapIter(joined, func(t relstore.Tuple) relstore.Tuple {
+		w := cfg.revWeight(t)
+		if fwd {
+			w = cfg.fwdWeight(t)
+		}
+		return relstore.Tuple{t[groupCol], relstore.F64(t[7].Float() * w)}
+	})
+	rows, err := relstore.Collect(contrib)
+	if err != nil {
+		return nil, err
+	}
+	if fwd && rel != nil {
+		kept := rows[:0]
+		for _, r := range rows {
+			if rel[r[0].Int()] > cfg.Rho {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+	bd.Scan += time.Since(t0)
+
+	t0 = time.Now()
+	sorted, err := relstore.SortByCols(bp, pairSchema, relstore.NewSliceIter(rows), cfg.SortMem, "oid")
+	if err != nil {
+		return nil, err
+	}
+	bd.Sort += time.Since(t0)
+
+	t0 = time.Now()
+	grouped := relstore.GroupBy(sorted, relstore.KeyOfCols(0), []int{0},
+		[]relstore.AggSpec{{Kind: relstore.AggSum, Col: 1}})
+	out, err := relstore.Collect(grouped)
+	bd.Update += time.Since(t0)
+	return out, err
 }

@@ -1,0 +1,216 @@
+package distiller
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"focus/internal/relstore"
+)
+
+// scoreTable builds a HUBS-shaped table holding the given scores with
+// oid = position, inserted in a shuffled order so rank logic cannot lean
+// on heap order.
+func scoreTable(t testing.TB, scores []float64, seed int64) *relstore.Table {
+	t.Helper()
+	db := relstore.Open(relstore.Options{Frames: 256})
+	tb, err := db.CreateTable("SCORES", HubsAuthSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := rand.New(rand.NewSource(seed)).Perm(len(scores))
+	for _, i := range order {
+		if _, err := tb.Insert(relstore.Tuple{relstore.I64(int64(i)), relstore.F64(scores[i])}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// TestPercentileNearestRank pins the nearest-rank rounding: the old
+// int(p*(n-1)) floor truncated every fractional rank downward (p=0.5 over
+// ten scores picked rank 4, not 5).
+func TestPercentileNearestRank(t *testing.T) {
+	mk := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = float64(i)
+		}
+		return s
+	}
+	cases := []struct {
+		n    int
+		p    float64
+		want float64
+	}{
+		// Even length (10): ranks over 0..9.
+		{10, 0, 0},
+		{10, 0.5, 5}, // round(4.5) = 5; the floored version said 4
+		{10, 0.9, 8}, // round(8.1)
+		{10, 1.0, 9},
+		// Odd length (9): ranks over 0..8.
+		{9, 0, 0},
+		{9, 0.5, 4}, // exact
+		{9, 0.9, 7}, // round(7.2)
+		{9, 1.0, 8},
+		// Single element: every percentile is the element.
+		{1, 0, 0},
+		{1, 0.5, 0},
+		{1, 1.0, 0},
+	}
+	for _, c := range cases {
+		tb := scoreTable(t, mk(c.n), int64(c.n)*31+int64(c.p*100))
+		got, err := Percentile(tb, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Percentile(n=%d, p=%.2f) = %v, want %v", c.n, c.p, got, c.want)
+		}
+	}
+}
+
+// TestTopMatchesSortReference checks the bounded-heap selection against the
+// straightforward sort-everything reference on random tables, including
+// duplicate scores (ties break toward the lower oid) and k beyond n.
+func TestTopMatchesSortReference(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(400)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.Intn(40)) / 40 // plenty of exact ties
+		}
+		tb := scoreTable(t, scores, seed)
+		for _, k := range []int{1, 3, 10, n, n + 7} {
+			got, err := Top(tb, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := make([]Scored, n)
+			for i, s := range scores {
+				ref[i] = Scored{OID: int64(i), Score: s}
+			}
+			for i := 1; i < len(ref); i++ { // insertion sort: stable and simple
+				for j := i; j > 0 && scoredBetter(ref[j], ref[j-1]); j-- {
+					ref[j], ref[j-1] = ref[j-1], ref[j]
+				}
+			}
+			if k < n {
+				ref = ref[:k]
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("seed %d k=%d: %d rows, want %d", seed, k, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("seed %d k=%d row %d: %+v, want %+v", seed, k, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTop(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	scores := make([]float64, 20000)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	tb := scoreTable(b, scores, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top, err := Top(tb, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(top) != 10 {
+			b.Fatal("short result")
+		}
+	}
+}
+
+// assertScoresClose compares two score maps within tol — the partition
+// property's 1e-12-after-normalization bound is tighter than the 1e-9 the
+// reference-equivalence tests use.
+func assertScoresClose(t *testing.T, got, want map[int64]float64, tol float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d scores, want %d", label, len(got), len(want))
+	}
+	for k, w := range want {
+		if g := got[k]; math.Abs(g-w) > tol {
+			t.Fatalf("%s: node %d score %.15f, want %.15f (|diff| %g > %g)",
+				label, k, g, w, math.Abs(g-w), tol)
+		}
+	}
+}
+
+// TestJoinPartitionInvarianceProperty: P ∈ {2, 4, 8} join partitions must
+// reproduce the P=1 scores within 1e-12 after normalization — partitioning
+// by group oid only reorders the float summation, never the terms.
+func TestJoinPartitionInvarianceProperty(t *testing.T) {
+	for seed := int64(11); seed < 14; seed++ {
+		edges, rel := randomGraph(seed, 250, 2000)
+		db1, tb1 := buildGraph(t, edges, rel)
+		if _, err := RunJoin(db1, tb1, Config{Iterations: 3}); err != nil {
+			t.Fatal(err)
+		}
+		refH, refA := tableScores(t, tb1.Hubs), tableScores(t, tb1.Auth)
+		for _, p := range []int{2, 4, 8} {
+			db, tb := buildGraph(t, edges, rel)
+			if _, err := RunJoin(db, tb, Config{Iterations: 3, Parallelism: p}); err != nil {
+				t.Fatal(err)
+			}
+			assertScoresClose(t, tableScores(t, tb.Hubs), refH, 1e-12,
+				fmt.Sprintf("seed %d P=%d hubs", seed, p))
+			assertScoresClose(t, tableScores(t, tb.Auth), refA, 1e-12,
+				fmt.Sprintf("seed %d P=%d auth", seed, p))
+		}
+	}
+}
+
+// TestWalkPartitionInvarianceProperty is the same bound for the index-walk
+// strategy's partition-parallel accumulators.
+func TestWalkPartitionInvarianceProperty(t *testing.T) {
+	for seed := int64(21); seed < 24; seed++ {
+		edges, rel := randomGraph(seed, 200, 1500)
+		db1, tb1 := buildGraph(t, edges, rel)
+		if _, err := RunIndexWalk(db1, tb1, Config{Iterations: 3}); err != nil {
+			t.Fatal(err)
+		}
+		refH, refA := tableScores(t, tb1.Hubs), tableScores(t, tb1.Auth)
+		for _, p := range []int{2, 4, 8} {
+			db, tb := buildGraph(t, edges, rel)
+			if _, err := RunIndexWalk(db, tb, Config{Iterations: 3, Parallelism: p}); err != nil {
+				t.Fatal(err)
+			}
+			assertScoresClose(t, tableScores(t, tb.Hubs), refH, 1e-12,
+				fmt.Sprintf("seed %d P=%d hubs", seed, p))
+			assertScoresClose(t, tableScores(t, tb.Auth), refA, 1e-12,
+				fmt.Sprintf("seed %d P=%d auth", seed, p))
+		}
+	}
+}
+
+// TestParallelMatchesReference: the partitioned plans must also satisfy the
+// in-memory reference directly, not only match P=1.
+func TestParallelMatchesReference(t *testing.T) {
+	edges, rel := randomGraph(31, 200, 1500)
+	cfg := Config{Iterations: 4, Parallelism: 4}
+	db, tb := buildGraph(t, edges, rel)
+	if _, err := RunJoin(db, tb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	refH, refA := refHITS(edges, rel, cfg)
+	assertScoresMatch(t, tableScores(t, tb.Hubs), refH, "par join hubs")
+	assertScoresMatch(t, tableScores(t, tb.Auth), refA, "par join auth")
+
+	db2, tb2 := buildGraph(t, edges, rel)
+	if _, err := RunIndexWalk(db2, tb2, cfg); err != nil {
+		t.Fatal(err)
+	}
+	assertScoresMatch(t, tableScores(t, tb2.Hubs), refH, "par walk hubs")
+	assertScoresMatch(t, tableScores(t, tb2.Auth), refA, "par walk auth")
+}

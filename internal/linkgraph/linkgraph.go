@@ -434,6 +434,88 @@ func (s *Store) ByDstIter() (relstore.Iterator, error) {
 	}), nil
 }
 
+// Snapshot is an immutable point-in-time copy of the LINK relation: one
+// tuple run per stripe, copied in ascending stripe id under the stripe
+// locks, heap order within each run — exactly the Store.Scan order of the
+// moment the snapshot was taken. It satisfies the distiller's LinkRel
+// surface, so a distillation epoch can run entirely off to the side while
+// workers keep mutating the live store: the snapshot shares nothing with
+// the stripe tables and needs no locks to read. Scan reports a zero RID
+// (snapshot rows have no stable storage address).
+type Snapshot struct {
+	runs  [][]relstore.Tuple
+	edges int64
+}
+
+// SnapshotLocked copies every stripe's tuples. The caller must hold every
+// stripe lock (the crawler's short distill barrier); the copy is therefore
+// a consistent cross-stripe image. Cost is O(edges) tuple copies — the
+// whole point is that this is far cheaper than holding the barrier for the
+// distillation itself.
+func (s *Store) SnapshotLocked() (*Snapshot, error) {
+	sn := &Snapshot{runs: make([][]relstore.Tuple, len(s.stripes))}
+	for i, st := range s.stripes {
+		run := make([]relstore.Tuple, 0, st.tab.Rows())
+		err := st.tab.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+			run = append(run, t)
+			return false, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sn.runs[i] = run
+		sn.edges += int64(len(run))
+	}
+	return sn, nil
+}
+
+// Rows returns the snapshot's edge count.
+func (sn *Snapshot) Rows() int64 { return sn.edges }
+
+// Scan visits every snapshot edge in stripe order, heap order within a
+// stripe — the same order Store.Scan produced at snapshot time.
+func (sn *Snapshot) Scan(fn func(rid relstore.RID, t relstore.Tuple) (bool, error)) error {
+	for _, run := range sn.runs {
+		for _, t := range run {
+			stop, err := fn(relstore.RID{}, t)
+			if err != nil {
+				return err
+			}
+			if stop {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Iter returns an iterator over the snapshot in Scan order. Each call
+// returns an independent iterator, so several consumers (the parallel
+// distiller's partition pass, for one) may stream the same snapshot
+// concurrently.
+func (sn *Snapshot) Iter() (relstore.Iterator, error) {
+	return &snapshotIter{sn: sn}, nil
+}
+
+type snapshotIter struct {
+	sn   *Snapshot
+	run  int
+	next int
+}
+
+func (it *snapshotIter) Next() (relstore.Tuple, bool, error) {
+	for it.run < len(it.sn.runs) {
+		if it.next < len(it.sn.runs[it.run]) {
+			t := it.sn.runs[it.run][it.next]
+			it.next++
+			return t, true, nil
+		}
+		it.run++
+		it.next = 0
+	}
+	return nil, false, nil
+}
+
 // LockedView adapts a Store held under the barrier to the relational read
 // surface (Scan/Iter without re-locking) that the distiller consumes.
 type LockedView struct{ s *Store }

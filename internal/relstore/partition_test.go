@@ -1,0 +1,128 @@
+package relstore
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func pairSchemaForTest() *Schema {
+	return NewSchema(
+		Column{Name: "oid", Kind: KInt64},
+		Column{Name: "score", Kind: KFloat64},
+	)
+}
+
+func randomPairs(seed int64, n, keySpace int) []Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]Tuple, n)
+	for i := range rows {
+		rows[i] = Tuple{I64(int64(rng.Intn(keySpace))), F64(rng.Float64())}
+	}
+	return rows
+}
+
+// TestPartitionInvarianceProperty pins the two properties the partitioned
+// join plan relies on: the partitions form an exact cover of the input
+// (no row lost, none duplicated), and rows sharing a key never split
+// across partitions, at any partition count.
+func TestPartitionInvarianceProperty(t *testing.T) {
+	key := KeyOfCols(0)
+	for _, p := range []int{1, 2, 3, 5, 8, 16} {
+		rows := randomPairs(int64(100+p), 4000, 97)
+		parts, err := PartitionByKey(NewSliceIter(rows), p, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parts) != p {
+			t.Fatalf("p=%d: %d partitions", p, len(parts))
+		}
+		total := 0
+		keyHome := map[int64]int{}
+		for pi, part := range parts {
+			total += len(part)
+			for _, r := range part {
+				oid := r[0].Int()
+				if home, seen := keyHome[oid]; seen && home != pi {
+					t.Fatalf("p=%d: key %d split across partitions %d and %d", p, oid, home, pi)
+				}
+				keyHome[oid] = pi
+			}
+		}
+		if total != len(rows) {
+			t.Fatalf("p=%d: partitions cover %d rows, want %d", p, total, len(rows))
+		}
+		// Same key must map to the same partition across separate calls.
+		for oid, home := range keyHome {
+			if got := HashTuple(AppendKey(nil, I64(oid)), p); got != home {
+				t.Fatalf("p=%d: HashTuple(%d) = %d, partitioned to %d", p, oid, got, home)
+			}
+		}
+	}
+}
+
+// TestSortPartitionsStress runs many concurrent spilling sorts over one
+// deliberately small shared pool: every partition must come back fully
+// sorted and the union must equal the input, with the pool's accounting
+// (exercised under -race) never torn by the concurrent spills.
+func TestSortPartitionsStress(t *testing.T) {
+	disk := NewMemDisk()
+	bp := NewBufferPool(disk, 32)
+	schema := pairSchemaForTest()
+	key := KeyOfCols(0)
+	rows := randomPairs(7, 20000, 5000)
+	const p = 8
+	parts, err := PartitionByKey(NewSliceIter(rows), p, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny workspace forces every partition to spill runs through the pool.
+	its, err := SortPartitions(bp, schema, parts, key, 4*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Tuple
+	for pi, it := range its {
+		rowsOut, err := Collect(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(rowsOut); i++ {
+			if bytes.Compare(key(rowsOut[i-1]), key(rowsOut[i])) > 0 {
+				t.Fatalf("partition %d not sorted at row %d", pi, i)
+			}
+		}
+		if len(rowsOut) != len(parts[pi]) {
+			t.Fatalf("partition %d: %d rows out, %d in", pi, len(rowsOut), len(parts[pi]))
+		}
+		got = append(got, rowsOut...)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("%d rows out, %d in", len(got), len(rows))
+	}
+	// The union must be a permutation of the input: compare sorted (oid,
+	// score) multisets.
+	fp := func(rows []Tuple) [][2]float64 {
+		out := make([][2]float64, len(rows))
+		for i, r := range rows {
+			out[i] = [2]float64{float64(r[0].Int()), r[1].Float()}
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i][0] != out[j][0] {
+				return out[i][0] < out[j][0]
+			}
+			return out[i][1] < out[j][1]
+		})
+		return out
+	}
+	a, b := fp(got), fp(rows)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("multiset mismatch at %d: %v != %v", i, a[i], b[i])
+		}
+	}
+	if st := bp.Stats(); st.Misses == 0 || st.Evictions == 0 {
+		t.Fatalf("sorts did not spill through the pool: %+v", st)
+	}
+}
