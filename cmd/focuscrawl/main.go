@@ -29,6 +29,8 @@ func main() {
 		distill = flag.Int64("distill", 500, "distill every N visits (0 = off)")
 		dpar    = flag.Int("distillpar", 0, "distiller join partitions (0/1 = serial)")
 		barrier = flag.Bool("distillbarrier", false, "legacy stop-the-world distillation (workers stall for the whole HITS run)")
+		cbatch  = flag.Int("classifybatch", 0, "batched in-crawl classification: accumulate this many pages per bulk classify (<=1 = inline)")
+		cpar    = flag.Int("classifypar", 0, "classification batch partitions by did (0/1 = serial)")
 	)
 	flag.Parse()
 
@@ -53,14 +55,16 @@ func main() {
 		},
 		GoodTopics: []string{*topic},
 		Crawl: crawler.Config{
-			Workers:        *workers,
-			FrontierShards: *shards,
-			LinkStripes:    *stripes,
-			MaxFetches:     *budget,
-			Mode:           m,
-			DistillEvery:   *distill,
-			DistillBarrier: *barrier,
-			Distill:        distiller.Config{Parallelism: *dpar},
+			Workers:             *workers,
+			FrontierShards:      *shards,
+			LinkStripes:         *stripes,
+			MaxFetches:          *budget,
+			Mode:                m,
+			DistillEvery:        *distill,
+			DistillBarrier:      *barrier,
+			Distill:             distiller.Config{Parallelism: *dpar},
+			ClassifyBatch:       *cbatch,
+			ClassifyParallelism: *cpar,
 		},
 	})
 	if err != nil {

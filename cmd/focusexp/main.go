@@ -8,9 +8,11 @@
 //
 // Figures: 5 (harvest rate, a+b), 6 (coverage, a+b), 7 (distance
 // histogram + hubs), 8a (classifier variants), 8b (memory scaling),
-// 8c (output scaling), 8d (distiller variants), plus two studies beyond
-// the paper: scale (worker scaling of the sharded frontier) and stall
-// (distillation worker stall, barrier vs snapshot-and-go).
+// 8c (output scaling), 8d (distiller variants), plus three studies beyond
+// the paper: scale (worker scaling of the sharded frontier), stall
+// (distillation worker stall, barrier vs snapshot-and-go), and classify
+// (the in-crawl classification batch sweep — Figure 8a's set-oriented
+// claim applied to the crawl hot path).
 package main
 
 import (
@@ -25,7 +27,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to run: 5, 6, 7, 8a, 8b, 8c, 8d, scale, stall, all")
+		fig        = flag.String("fig", "all", "figure to run: 5, 6, 7, 8a, 8b, 8c, 8d, scale, stall, classify, all")
 		seed       = flag.Int64("seed", 1999, "random seed")
 		pages      = flag.Int("pages", 30000, "synthetic web size for crawl experiments")
 		budget     = flag.Int64("budget", 4000, "fetch budget for crawl experiments")
@@ -35,6 +37,8 @@ func main() {
 		latency    = flag.Duration("latency", 50*time.Microsecond, "simulated per-page disk latency for figure 8")
 		stripes    = flag.Int("linkstripes", 0, "LINK store stripes for the scale figure (0 = one per worker)")
 		distillpar = flag.Int("distillpar", 2, "distiller join partitions for the stall figure")
+		cpar       = flag.Int("classifypar", 0, "classification batch partitions by did for the classify figure (0/1 = serial)")
+		cbatch     = flag.Int("classifybatch", 0, "classify figure: sweep {1, N} instead of the default batch sizes (0 = default sweep)")
 	)
 	flag.Parse()
 
@@ -159,6 +163,27 @@ func main() {
 		r, err = eval.RunCrawlScaling(eval.CrawlScalingConfig{
 			Web: heavy, Topic: *topic,
 			Budget: *budget / 4, LinkStripes: *stripes,
+		})
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+		return nil
+	})
+
+	run("classify", func() error {
+		// The in-crawl classification batch sweep: end-to-end pages/sec at
+		// batch 1 (inline), 16, and 64 on the doc-heavy workload, where
+		// per-page classification and DOCUMENT ingest dominate.
+		dense := eval.DocHeavyWeb(*seed, *pages/3)
+		dense.TopicWeights = map[string]float64{*topic: *weight}
+		var batches []int
+		if *cbatch > 0 {
+			batches = []int{1, *cbatch}
+		}
+		r, err := eval.RunClassifyBatch(eval.ClassifyBatchConfig{
+			Web: dense, Topic: *topic,
+			Budget: *budget / 2, Batches: batches, Parallelism: *cpar,
 		})
 		if err != nil {
 			return err

@@ -7,7 +7,11 @@
 //
 //   - a hierarchical naive Bayes classifier trained from per-topic example
 //     documents, whose soft-focus relevance R(d) = Σ_{good c} Pr[c|d]
-//     drives crawl priorities;
+//     drives crawl priorities — classifying inline in each fetch worker,
+//     or (Crawl.ClassifyBatch > 1) as a batched pipeline stage that
+//     accumulates fetched pages and classifies them together with the
+//     set-oriented two-joins-per-node plan of §2.1.2, completing each
+//     visit afterwards exactly as the inline path would;
 //   - a distiller (relevance-weighted HITS with nepotism filtering) that
 //     finds hub pages and periodically boosts their unvisited neighbors,
 //     running concurrently with the crawl: each distillation epoch

@@ -3,6 +3,7 @@ package classifier
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"focus/internal/relstore"
 	"focus/internal/taxonomy"
@@ -36,17 +37,28 @@ func InsertDoc(tb *relstore.Table, did int64, v textproc.TermVector) error {
 	return nil
 }
 
-// BulkOptions tunes BulkClassify.
+// BulkOptions tunes BulkClassify and BulkClassifyStream.
 type BulkOptions struct {
 	// SortMem is the external-sort workspace in bytes (0 = relstore
 	// default). Figure 8(b) sweeps this together with the buffer pool.
 	SortMem int
+	// Parallelism hash-partitions the batch by did into this many
+	// partitions classified concurrently (<=1 = serial). A document's rows
+	// always travel together (relstore.PartitionByKey never splits a key),
+	// so per-document results are independent of the partition count; the
+	// property tests pin that invariance.
+	Parallelism int
 }
 
 // BulkClassify evaluates the posterior of every document in the DOCUMENT
 // table, visiting internal taxonomy nodes in topological order and running
 // the Figure 3 plan (one inner join + one left outer join) at each. It
-// returns posteriors keyed by did.
+// returns posteriors keyed by did. Note that a document is only as visible
+// as its rows: a did with no DOCUMENT rows at all cannot be seen by a table
+// scan and gets no posterior — callers classifying a batch that may contain
+// token-less documents must use BulkClassifyStream, which takes the did set
+// explicitly and classifies empty vectors to the prior-based posterior
+// exactly as the per-page paths do.
 func (m *Model) BulkClassify(doc *relstore.Table, opt BulkOptions) (map[int64]Posterior, error) {
 	post := make(map[int64]Posterior)
 	err := doc.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
@@ -74,11 +86,23 @@ func (m *Model) BulkClassify(doc *relstore.Table, opt BulkOptions) (map[int64]Po
 	if err != nil {
 		return nil, err
 	}
+	// Hash-partition the sorted stream by did once, up front: partitioning
+	// preserves arrival order, so every partition is itself sorted by tid
+	// and a did's rows land whole in one partition — each partition is a
+	// self-contained sub-batch the per-node join can run on concurrently.
+	parts, err := partitionByDid(docByTid, opt.Parallelism)
+	if err != nil {
+		return nil, err
+	}
 	for _, c0 := range m.Tree.Internal() {
 		if len(c0.Children) == 0 || m.StatTables[c0.ID] == nil {
 			continue
 		}
-		scores, err := m.bulkNode(docByTid, c0, opt)
+		statRows, err := m.statSortedByTid(c0.ID)
+		if err != nil {
+			return nil, err
+		}
+		scores, err := m.bulkNodeParts(parts, statRows, c0, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -116,6 +140,49 @@ func (m *Model) BulkRelevance(doc *relstore.Table, opt BulkOptions) (map[int64]f
 	return out, nil
 }
 
+// partitionByDid splits a tid-sorted DOCUMENT stream into p hash
+// partitions by did (relstore.PartitionByKey over the did column). p <= 1
+// returns the stream as a single partition without copying.
+func partitionByDid(docByTid []relstore.Tuple, p int) ([][]relstore.Tuple, error) {
+	if p <= 1 || len(docByTid) == 0 {
+		return [][]relstore.Tuple{docByTid}, nil
+	}
+	return relstore.PartitionByKey(relstore.NewSliceIter(docByTid), p, relstore.KeyOfCols(0))
+}
+
+// bulkNodeParts runs bulkNode over every partition of the batch
+// concurrently and merges the per-partition score maps — pure
+// concatenation, since hash-partitioning by did keeps the maps disjoint.
+// One partition (the serial plan) skips the goroutine entirely.
+func (m *Model) bulkNodeParts(parts [][]relstore.Tuple, statRows []relstore.Tuple, c0 *taxonomy.Node, opt BulkOptions) (map[int64][]float64, error) {
+	if len(parts) == 1 {
+		return m.bulkNode(parts[0], statRows, c0, opt)
+	}
+	outs := make([]map[int64][]float64, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = m.bulkNode(parts[i], statRows, c0, opt)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := outs[0]
+	for _, out := range outs[1:] {
+		for did, L := range out {
+			merged[did] = L
+		}
+	}
+	return merged, nil
+}
+
 // bulkNode computes, for every document, the per-child log scores at c0
 // (logprior included) using the SQL of Figure 3:
 //
@@ -124,18 +191,15 @@ func (m *Model) BulkRelevance(doc *relstore.Table, opt BulkOptions) (map[int64]f
 //	DOCLEN(did, len) = sum(freq) over DOCUMENT where tid in STAT_c0
 //	COMPLETE(did, kcid, lpr2) = DOCLEN x children: -len * logdenom
 //	result = COMPLETE left outer join PARTIAL: lpr2 + coalesce(lpr1, 0)
-func (m *Model) bulkNode(docByTid []relstore.Tuple, c0 *taxonomy.Node, opt BulkOptions) (map[int64][]float64, error) {
+//
+// statRows is STAT_c0 sorted by (tid, kcid) — materialized once by the
+// caller and shared across partitions.
+func (m *Model) bulkNode(docByTid, statRows []relstore.Tuple, c0 *taxonomy.Node, opt BulkOptions) (map[int64][]float64, error) {
 	bp := m.DB.Pool()
 	kids := c0.Children
 	kidPos := make(map[int64]int, len(kids))
 	for i, k := range kids {
 		kidPos[int64(k.ID)] = i
-	}
-
-	// STAT_c0 sorted by (tid, kcid) via its index order.
-	statRows, err := m.statSortedByTid(c0.ID)
-	if err != nil {
-		return nil, err
 	}
 
 	// Inner merge join on tid. Left row (did,tid,freq), right (kcid,tid,logtheta).

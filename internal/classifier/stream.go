@@ -1,0 +1,216 @@
+package classifier
+
+import (
+	"sync"
+
+	"focus/internal/relstore"
+	"focus/internal/textproc"
+)
+
+// BatchDoc is one document of an in-crawl classification batch: the did its
+// scratch DOCUMENT rows carry (the crawler passes the page oid) and its term
+// vector. An empty (or nil) vector is a valid document — it classifies to
+// the prior-based posterior, exactly like the per-page paths.
+type BatchDoc struct {
+	DID int64
+	Vec textproc.TermVector
+}
+
+// BulkClassifyStream classifies a batch of in-memory documents with the
+// set-oriented plan of Figure 3 — the entry point the crawler's batched
+// classification stage feeds. The batch plays the role of the scratch
+// DOCUMENT relation, but it never enters the table catalog (the stage runs
+// concurrently with monitors that create and drop snapshot tables there);
+// instead the batch is pivoted once into a shared build side, tid ->
+// (doc, freq) postings, that every internal node's join probes:
+//
+//   - per node, one pass over F(c0) probes the postings — the inner join
+//     DOCUMENT ⋈ STAT_c0 on tid, evaluated feature-side, which costs
+//     |F(c0)| probes per *batch* where the per-page path costs |terms|
+//     lookups per *document* per node;
+//   - matched postings accumulate freq*(logtheta + logdenom) into the
+//     document's per-child score row and charge every child -freq*logdenom
+//     (the PARTIAL / DOCLEN×children split of the Figure 3 outer join,
+//     fused: starting each row at the child priors and letting absent
+//     children keep the -len*logdenom charge is exactly the
+//     lpr2 + coalesce(lpr1, 0) algebra);
+//   - the softmax push-down then assigns sibling probabilities, as in every
+//     other access path.
+//
+// Unlike the table-backed BulkClassify, every document in docs gets a
+// posterior: a did with no rows (empty vector) is still in the batch and
+// falls through to the priors, matching per-page Classify on the same
+// vector. Posteriors agree with Classify to floating-point accumulation
+// order (the equivalence tests pin 1e-9).
+//
+// opt.Parallelism hash-partitions the batch by did (one
+// relstore.PartitionByKey pass over (did, index) header tuples) and
+// classifies the partitions concurrently; a document's rows always travel
+// together, so per-document results are independent of the partition count.
+// dids should be distinct; duplicates land in the same partition and the
+// last posterior wins.
+func (m *Model) BulkClassifyStream(docs []BatchDoc, opt BulkOptions) (map[int64]Posterior, error) {
+	post := make(map[int64]Posterior, len(docs))
+	if len(docs) == 0 {
+		return post, nil
+	}
+	p := opt.Parallelism
+	if p > len(docs) {
+		p = len(docs)
+	}
+	if p <= 1 {
+		m.streamPosteriors(docs, post)
+		return post, nil
+	}
+	// Hash-partition by did, reusing the distiller's partition machinery on
+	// a header tuple per document (did, batch index).
+	hdr := make([]relstore.Tuple, len(docs))
+	for i := range docs {
+		hdr[i] = relstore.Tuple{relstore.I64(docs[i].DID), relstore.I64(int64(i))}
+	}
+	parts, err := relstore.PartitionByKey(relstore.NewSliceIter(hdr), p, relstore.KeyOfCols(0))
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]map[int64]Posterior, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		sub := make([]BatchDoc, len(part))
+		for j, t := range part {
+			sub[j] = docs[t[1].Int()]
+		}
+		outs[i] = make(map[int64]Posterior, len(sub))
+		wg.Add(1)
+		go func(i int, sub []BatchDoc) {
+			defer wg.Done()
+			m.streamPosteriors(sub, outs[i])
+		}(i, sub)
+	}
+	wg.Wait()
+	for _, out := range outs {
+		for did, pr := range out {
+			post[did] = pr
+		}
+	}
+	return post, nil
+}
+
+// InsertDocsBuf appends several documents' term vectors to a DOCUMENT
+// table through one reused encode buffer and row tuple (Table.InsertBuf) —
+// the set-oriented ingest of the crawl's batched classification stage,
+// which groups a classified batch by DOCUMENT stripe and loads each
+// stripe's rows in one pass. Row-for-row it writes exactly what InsertDoc
+// writes; it just refuses to pay one tuple and one record allocation per
+// term row.
+func InsertDocsBuf(tb *relstore.Table, docs []BatchDoc) error {
+	var buf []byte
+	row := relstore.Tuple{relstore.I64(0), relstore.I64(0), relstore.I32(0)}
+	for i := range docs {
+		row[0] = relstore.I64(docs[i].DID)
+		for tid, freq := range docs[i].Vec {
+			row[1] = relstore.I64(int64(tid))
+			row[2] = relstore.I32(freq)
+			var err error
+			if _, buf, err = tb.InsertBuf(buf, row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// streamPosteriors runs the fused Figure 3 plan over one partition of the
+// batch, writing each document's posterior into post (keyed by did).
+func (m *Model) streamPosteriors(docs []BatchDoc, post map[int64]Posterior) {
+	// Build side, shared by every node's join: tid -> chain of (doc, freq)
+	// postings. The chain is three flat arrays plus one head index per
+	// distinct tid — a classic hash-join build with no per-tid allocation.
+	n := 0
+	for i := range docs {
+		n += len(docs[i].Vec)
+	}
+	head := make(map[uint32]int32, n)
+	docOf := make([]int32, 0, n)
+	freqOf := make([]float64, 0, n)
+	next := make([]int32, 0, n)
+	for i := range docs {
+		for tid, f := range docs[i].Vec {
+			idx := int32(len(docOf))
+			docOf = append(docOf, int32(i))
+			freqOf = append(freqOf, float64(f))
+			if prev, ok := head[tid]; ok {
+				next = append(next, prev)
+			} else {
+				next = append(next, -1)
+			}
+			head[tid] = idx
+		}
+	}
+	for i := range docs {
+		post[docs[i].DID] = Posterior{m.Tree.Root.ID: 1}
+	}
+	B := len(docs)
+	docLen := make([]float64, B)
+	for _, c0 := range m.Tree.Internal() {
+		kids := m.kids[c0.ID]
+		K := len(kids)
+		if K == 0 {
+			continue
+		}
+		pos := make(map[int64]int, K)
+		denom := make([]float64, K)
+		prior := make([]float64, K)
+		for i, k := range kids {
+			pos[int64(k.ID)] = i
+			denom[i] = m.logDenom[k.ID]
+			prior[i] = m.logPrior[k.ID]
+		}
+		// One flat (doc x child) score block per node; rows start at the
+		// priors (the COMPLETE side's identity element), and DOCLEN — each
+		// document's feature-term mass at this node — accumulates on the
+		// side so every child's -len*logdenom charge is applied once per
+		// document rather than once per matched term.
+		L := make([]float64, B*K)
+		for d := 0; d < B; d++ {
+			copy(L[d*K:(d+1)*K], prior)
+		}
+		for d := range docLen {
+			docLen[d] = 0
+		}
+		// Probe F(c0) against the postings: each match is one inner-join
+		// output row (the PARTIAL side), folded straight into the
+		// document's score row.
+		for tid, entries := range m.statsMem[c0.ID] {
+			idx, ok := head[tid]
+			if !ok {
+				continue
+			}
+			for ; idx >= 0; idx = next[idx] {
+				d, f := int(docOf[idx]), freqOf[idx]
+				docLen[d] += f
+				row := L[d*K : (d+1)*K]
+				for _, e := range entries {
+					row[pos[int64(e.kcid)]] += f * (e.logTheta + m.logDenom[e.kcid])
+				}
+			}
+		}
+		// COMPLETE side and softmax push-down: charge -len*logdenom, then
+		// children partition the parent's mass.
+		for d := 0; d < B; d++ {
+			pr := post[docs[d].DID]
+			parentP := pr[c0.ID]
+			row := L[d*K : (d+1)*K]
+			if l := docLen[d]; l != 0 {
+				for i := range row {
+					row[i] -= l * denom[i]
+				}
+			}
+			for i, k := range kids {
+				pr[k.ID] = parentP * softmaxAt(row, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package crawler
+
+// The batched in-crawl classification pipeline (Config.ClassifyBatch > 1).
+//
+// The paper's central systems claim (§2.1.2, Figure 3, Figure 8a) is that
+// classifying documents in bulk — two joins per taxonomy node over a batch
+// relation — beats per-document probing by an order of magnitude. The
+// crawler's hot path earns that win here: fetch workers stop classifying
+// inline and instead tokenize and hand (oid, shard/rid, term vector,
+// outlinks) to a classify queue; a single classifier stage accumulates up
+// to ClassifyBatch documents, classifies the whole batch through
+// classifier.BulkClassifyStream (hash-partitioned by did across
+// ClassifyParallelism partitions), and then completes each visit exactly
+// as the inline path does — same row update, harvest append, pendingFwd
+// entry, incoming-weight sweep, link expansion, and distill trigger, via
+// the shared Crawler.complete.
+//
+// Flush rule: when the queue goes idle for ClassifyFlush with a partial
+// batch pending, the stage flushes it. This bounds pipeline latency and is
+// what makes the pipeline deadlock-free: an empty frontier refills only
+// when queued visits complete and expand their links, so a batch that will
+// never fill must not wait forever.
+//
+// Lock interactions: the stage holds no locks while classifying (the
+// model's statistics are read-only after training) and complete() takes
+// exactly the locks a worker's inline path takes, in the same order
+// (stripe < shard < global < doc stripe). The inflight counter stays
+// raised from a page's checkout until its visit completes, so the
+// stagnation check (empty frontier and inflight == 0) remains sound with
+// work parked in the queue.
+
+import (
+	"time"
+
+	"focus/internal/classifier"
+	"focus/internal/relstore"
+	"focus/internal/textproc"
+)
+
+// classifyItem is one successfully fetched page parked between its fetch
+// worker and the classifier stage.
+type classifyItem struct {
+	sh  *shard
+	rid relstore.RID
+	row relstore.Tuple
+	oid int64
+	vec textproc.TermVector
+	res *Fetch
+}
+
+// classifyLoop is the single classifier-stage goroutine: it accumulates
+// items into batches of ClassifyBatch, flushing early when the queue idles
+// for ClassifyFlush, and exits only when the queue is closed and drained —
+// Run's guarantee that no in-flight batch outlives the crawl. After a
+// failure it keeps draining (completing nothing, releasing inflight) so
+// workers blocked on the queue always unblock.
+func (c *Crawler) classifyLoop() {
+	batch := make([]classifyItem, 0, c.cfg.ClassifyBatch)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if err := c.flushBatch(batch); err != nil {
+			c.classifyMu.Lock()
+			if c.classifyErr == nil {
+				c.classifyErr = err
+			}
+			c.classifyMu.Unlock()
+			c.stop.Store(true)
+		}
+		batch = batch[:0]
+	}
+	idle := time.NewTimer(c.cfg.ClassifyFlush)
+	if !idle.Stop() {
+		<-idle.C
+	}
+	for {
+		if len(batch) == 0 {
+			item, ok := <-c.classifyCh
+			if !ok {
+				return
+			}
+			batch = append(batch, item)
+			continue
+		}
+		if len(batch) >= c.cfg.ClassifyBatch {
+			flush()
+			continue
+		}
+		idle.Reset(c.cfg.ClassifyFlush)
+		select {
+		case item, ok := <-c.classifyCh:
+			if !idle.Stop() {
+				<-idle.C
+			}
+			if !ok {
+				flush()
+				return
+			}
+			batch = append(batch, item)
+		case <-idle.C:
+			flush()
+		}
+	}
+}
+
+// flushBatch classifies one batch with the set-oriented plan and completes
+// every visit. After a prior failure the batch is discarded — each item
+// only releases its inflight slot — so the pipeline drains cleanly.
+func (c *Crawler) flushBatch(batch []classifyItem) error {
+	// After a classify-stage error, only drain. A bare stop (budget, a
+	// worker's own error) is deliberately not a reason to drop a batch:
+	// these pages consumed fetch budget, so their visits complete.
+	c.classifyMu.Lock()
+	failed := c.classifyErr != nil
+	c.classifyMu.Unlock()
+	if failed {
+		for range batch {
+			c.inflight.Add(-1)
+		}
+		return nil
+	}
+	docs := make([]classifier.BatchDoc, len(batch))
+	for i, it := range batch {
+		docs[i] = classifier.BatchDoc{DID: it.oid, Vec: it.vec}
+	}
+	post, err := c.model.BulkClassifyStream(docs, classifier.BulkOptions{
+		Parallelism: c.cfg.ClassifyParallelism,
+	})
+	if err == nil && !c.cfg.SkipDocuments {
+		err = c.insertDocBatch(docs)
+	}
+	if err != nil {
+		for range batch {
+			c.inflight.Add(-1)
+		}
+		return err
+	}
+	var firstErr error
+	for _, it := range batch {
+		if firstErr != nil {
+			c.inflight.Add(-1)
+			continue
+		}
+		p := post[it.oid]
+		rel := c.model.Relevance(p)
+		leaf := c.model.BestLeaf(p)
+		firstErr = c.complete(it.sh, it.rid, it.row, it.vec, it.res, rel, leaf, true)
+		c.inflight.Add(-1)
+	}
+	return firstErr
+}
+
+// insertDocBatch loads the batch's DOCUMENT rows set-orientedly: grouped
+// by stripe, one lock acquisition and one reused encode buffer per stripe
+// (classifier.InsertDocsBuf), instead of the inline path's per-visit
+// per-row inserts. The rows land before the batch's visits are marked,
+// where the inline path writes them just after each visit persists; the
+// DOCUMENT relation is analytical (read through post-crawl Doc()
+// snapshots), so only the rows' existence matters, not that ordering.
+func (c *Crawler) insertDocBatch(docs []classifier.BatchDoc) error {
+	byStripe := make(map[*docStripe][]classifier.BatchDoc, len(c.docs))
+	for _, d := range docs {
+		ds := c.docFor(d.DID)
+		byStripe[ds] = append(byStripe[ds], d)
+	}
+	for ds, group := range byStripe {
+		ds.mu.Lock()
+		err := classifier.InsertDocsBuf(ds.tab, group)
+		ds.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

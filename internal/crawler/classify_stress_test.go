@@ -1,0 +1,192 @@
+package crawler
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"focus/internal/distiller"
+	"focus/internal/relstore"
+	"focus/internal/textproc"
+)
+
+// TestClassifyBatchCompletesVisits exercises the batched pipeline
+// deterministically: one worker, a batch larger than the site, so every
+// visit is completed by idle flushes — the rule that keeps a partial batch
+// from deadlocking the crawl.
+func TestClassifyBatchCompletesVisits(t *testing.T) {
+	f := &stubFetcher{pages: map[string]*Fetch{
+		"http://a.test/1": page("http://a.test/1", "alpha", "http://a.test/2", "http://b.test/3"),
+		"http://a.test/2": page("http://a.test/2", "alpha", "http://b.test/3"),
+		"http://b.test/3": page("http://b.test/3", "beta"),
+	}}
+	c, _ := newTestCrawler(t, f, Config{
+		Workers: 1, MaxFetches: 10,
+		ClassifyBatch: 64, ClassifyFlush: 100 * time.Microsecond,
+	})
+	c.Seed([]string{"http://a.test/1"})
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited != 3 {
+		t.Fatalf("visited = %d, want 3", res.Visited)
+	}
+	if !res.Stagnated {
+		t.Fatal("exhausted site should report stagnation")
+	}
+	doc, err := c.Doc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Rows() == 0 {
+		t.Fatal("batched path did not populate DOCUMENT")
+	}
+	// Classification through the batch must match the per-page reference.
+	for _, h := range c.HarvestLog() {
+		ref := c.model.Relevance(c.model.Classify(textproc.VectorOfTokens(f.pages[h.URL].Tokens)))
+		if math.Abs(h.Relevance-ref) > 1e-9 {
+			t.Fatalf("%s: batch relevance %.12f, per-page %.12f", h.URL, h.Relevance, ref)
+		}
+	}
+}
+
+// TestClassifyBatchPipelineStress hammers the batched classification
+// pipeline under -race: eight workers hand fetches to the classify stage
+// (batch 16) while concurrent distillation snapshots and publishes in the
+// background. Invariants:
+//   - no lost visits: every successfully fetched page is visited exactly
+//     once, and visited == harvest length == visited CRAWL rows;
+//   - harvest/visit-seq consistency: Seq is exactly 1..N in log order with
+//     no duplicate oids;
+//   - posterior equivalence: every harvest point's relevance and class
+//     match a per-page Classify of the same tokens;
+//   - clean drain: Run returns with no in-flight batch — every DOCUMENT
+//     row of every visited page is present — and distillation's published
+//     epoch equals its snapshotted epoch.
+func TestClassifyBatchPipelineStress(t *testing.T) {
+	const nPages = 150
+	urls := make([]string, nPages)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://s%02d.test/p%d", i%11, i)
+	}
+	pages := map[string]*Fetch{}
+	for i, u := range urls {
+		var out []string
+		fanout := 3
+		if i%12 == 0 {
+			fanout = 15
+		}
+		for j := 1; j <= fanout; j++ {
+			// Offsets 15, 29, 43, ... — 29 is coprime with nPages, so the
+			// whole site is reachable from any seed.
+			v := urls[(i+j*14+1)%nPages]
+			if v != u {
+				out = append(out, v)
+			}
+		}
+		topic := "alpha"
+		if i%3 == 0 {
+			topic = "beta"
+		}
+		pages[u] = page(u, topic, out...)
+	}
+	f := &stubFetcher{pages: pages}
+	c, _ := newTestCrawler(t, f, Config{
+		Workers:       8,
+		MaxFetches:    1000,
+		ClassifyBatch: 16,
+		ClassifyFlush: 200 * time.Microsecond,
+		DistillEvery:  25,
+		Distill:       distiller.Config{Parallelism: 2},
+	})
+	if err := c.Seed(urls[:4]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No lost visits: the whole site is reachable and the budget ample.
+	if res.Visited != nPages {
+		t.Fatalf("visited = %d, want %d", res.Visited, nPages)
+	}
+	seen := map[string]int{}
+	for _, u := range f.order {
+		seen[u]++
+	}
+	for u, n := range seen {
+		if n != 1 {
+			t.Fatalf("%s fetched %d times", u, n)
+		}
+	}
+
+	// Harvest/visit-seq consistency.
+	log := c.HarvestLog()
+	if int64(len(log)) != res.Visited {
+		t.Fatalf("harvest %d points, visited %d", len(log), res.Visited)
+	}
+	oids := map[int64]bool{}
+	for i, h := range log {
+		if h.Seq != int64(i+1) {
+			t.Fatalf("harvest[%d].Seq = %d, want %d", i, h.Seq, i+1)
+		}
+		if oids[h.OID] {
+			t.Fatalf("oid %d visited twice", h.OID)
+		}
+		oids[h.OID] = true
+	}
+
+	// Visited CRAWL rows agree.
+	snap, err := c.Crawl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var visitedRows int64
+	err = snap.Scan(func(_ relstore.RID, tp relstore.Tuple) (bool, error) {
+		if int32(tp[CStatus].Int()) == StatusVisited {
+			visitedRows++
+		}
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visitedRows != res.Visited {
+		t.Fatalf("CRAWL has %d visited rows, result says %d", visitedRows, res.Visited)
+	}
+
+	// Posterior equivalence through the pipeline, page by page.
+	wantDocRows := int64(0)
+	for _, h := range log {
+		vec := textproc.VectorOfTokens(pages[h.URL].Tokens)
+		wantDocRows += int64(len(vec))
+		p := c.model.Classify(vec)
+		if math.Abs(h.Relevance-c.model.Relevance(p)) > 1e-9 {
+			t.Fatalf("%s: batch relevance %.12f, per-page %.12f",
+				h.URL, h.Relevance, c.model.Relevance(p))
+		}
+		if h.Kcid != int32(c.model.BestLeaf(p)) {
+			t.Fatalf("%s: batch kcid %d, per-page %d", h.URL, h.Kcid, c.model.BestLeaf(p))
+		}
+	}
+
+	// Clean drain: every visited page's DOCUMENT rows landed before Run
+	// returned, and no distillation epoch is still queued.
+	doc, err := c.Doc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Rows() != wantDocRows {
+		t.Fatalf("DOCUMENT has %d rows, want %d", doc.Rows(), wantDocRows)
+	}
+	snapped, published := c.DistillEpochs()
+	if snapped != published {
+		t.Fatalf("undrained distillation: snapshotted %d, published %d", snapped, published)
+	}
+	if res.Distills == 0 {
+		t.Fatal("distillation never ran under the pipeline")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"focus/internal/distiller"
 	"focus/internal/linkgraph"
 	"focus/internal/relstore"
+	"focus/internal/taxonomy"
 	"focus/internal/textproc"
 )
 
@@ -74,6 +75,24 @@ type Config struct {
 	// by top-decile hubs after each distillation (default 0.75; 0 keeps the
 	// default, negative disables boosting).
 	HubNeighborBoost float64
+	// ClassifyBatch moves classification out of the fetch workers into a
+	// batched pipeline stage: workers tokenize fetched pages and hand them
+	// to a classify queue, and a single classifier stage accumulates up to
+	// ClassifyBatch documents before classifying them together with the
+	// set-oriented two-joins-per-node plan (§2.1.2, Figure 3) and
+	// completing each visit. <=1 (the default) keeps classification inline
+	// in the workers — the pre-batch path, bit-identical (golden-pinned).
+	ClassifyBatch int
+	// ClassifyFlush is how long the classify stage waits for the next
+	// fetched page before flushing a partial batch (default 1ms). The
+	// flush bounds pipeline latency and guarantees the crawl can never
+	// deadlock waiting on a batch that will not fill: a flushed visit
+	// expands links, which is what refills an empty frontier.
+	ClassifyFlush time.Duration
+	// ClassifyParallelism hash-partitions each classification batch by did
+	// across this many concurrently classified partitions (default 1;
+	// see classifier.BulkOptions.Parallelism).
+	ClassifyParallelism int
 	// SkipDocuments disables populating the DOCUMENT relation (saves space
 	// when the corpus will not be re-classified in bulk).
 	SkipDocuments bool
@@ -97,6 +116,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HubNeighborBoost == 0 {
 		c.HubNeighborBoost = 0.75
+	}
+	if c.ClassifyFlush == 0 {
+		c.ClassifyFlush = time.Millisecond
+	}
+	if c.ClassifyParallelism <= 0 {
+		c.ClassifyParallelism = 1
 	}
 	return c
 }
@@ -218,6 +243,18 @@ type Crawler struct {
 	computeNS   atomic.Int64
 	distillMu   sync.Mutex
 	distillErr  error
+
+	// Batched-classification pipeline state (Config.ClassifyBatch > 1).
+	// Workers send tokenized fetches into classifyCh (bounded, so a
+	// lagging classifier stage applies backpressure); the single
+	// classifyLoop goroutine accumulates batches, classifies them with the
+	// set-oriented plan, and completes each visit. An item keeps the
+	// crawl's inflight counter raised from its checkout until its visit
+	// completes, so an empty frontier with queued items is never mistaken
+	// for stagnation. nil when classification is inline.
+	classifyCh  chan classifyItem
+	classifyMu  sync.Mutex
+	classifyErr error
 
 	fetches  atomic.Int64
 	visited  atomic.Int64
@@ -453,6 +490,15 @@ func (c *Crawler) Run() (Result, error) {
 			c.distillLoop(distStop)
 		}()
 	}
+	var classifyWG sync.WaitGroup
+	if c.cfg.ClassifyBatch > 1 {
+		c.classifyCh = make(chan classifyItem, c.cfg.ClassifyBatch+c.cfg.Workers)
+		classifyWG.Add(1)
+		go func() {
+			defer classifyWG.Done()
+			c.classifyLoop()
+		}()
+	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, c.cfg.Workers)
 	for w := 0; w < c.cfg.Workers; w++ {
@@ -467,13 +513,26 @@ func (c *Crawler) Run() (Result, error) {
 		}()
 	}
 	wg.Wait()
-	// Stop the distiller and drain queued epochs: Run returns with the
-	// last snapshot's scores published and no background goroutine alive.
+	// Drain order matters: close the classify queue first so every handed-
+	// off fetch completes its visit (possibly queueing distillation
+	// epochs), then stop the distiller, which drains those epochs. Run
+	// returns with no in-flight batch, the last snapshot's scores
+	// published, and no background goroutine alive.
+	if c.classifyCh != nil {
+		close(c.classifyCh)
+		classifyWG.Wait()
+	}
 	close(distStop)
 	distWG.Wait()
 	close(errCh)
 	if err := <-errCh; err != nil {
 		return Result{}, err
+	}
+	c.classifyMu.Lock()
+	cerr := c.classifyErr
+	c.classifyMu.Unlock()
+	if cerr != nil {
+		return Result{}, cerr
 	}
 	c.distillMu.Lock()
 	derr := c.distillErr
@@ -543,6 +602,25 @@ func (c *Crawler) worker(w int) error {
 		}
 		c.fetches.Add(1)
 		res, ferr := c.fetcher.Fetch(row[CURL].S)
+		if c.classifyCh != nil && ferr == nil {
+			// Batched pipeline: tokenize here (it needs no shared state)
+			// and hand the page to the classify stage, which completes the
+			// visit — and decrements inflight — after classification. The
+			// send blocks when the queue is full; the stage always drains
+			// it, even after a failure, so workers never wedge. Only the
+			// fetch fields completion needs travel: dropping the token
+			// slice keeps a full queue from pinning every parked page's
+			// text.
+			c.classifyCh <- classifyItem{
+				sh: sh, rid: rid, row: row, oid: row[COID].Int(),
+				vec: textproc.VectorOfTokens(res.Tokens),
+				res: &Fetch{
+					URL: res.URL, Server: res.Server,
+					ServerID: res.ServerID, Outlinks: res.Outlinks,
+				},
+			}
+			continue
+		}
 		err = c.process(sh, rid, row, res, ferr)
 		c.inflight.Add(-1)
 		if err != nil {
@@ -628,6 +706,18 @@ func (c *Crawler) process(sh *shard, rid relstore.RID, row relstore.Tuple, res *
 	post := c.model.Classify(vec)
 	rel := c.model.Relevance(post)
 	leaf := c.model.BestLeaf(post)
+	return c.complete(sh, rid, row, vec, res, rel, leaf, false)
+}
+
+// complete finishes a classified visit: row update, harvest log, DOCUMENT
+// rows, incoming-weight sweep, link expansion, and the distillation
+// trigger. It is the shared tail of the inline path (process) and the
+// batched classification stage (flushBatch); both must drive it with the
+// same (rel, leaf) a per-page Classify of vec would produce. docRowsDone
+// marks that the caller already ingested the page's DOCUMENT rows (the
+// batch stage loads them stripe by stripe for the whole batch before
+// completing visits). Callers hold no locks.
+func (c *Crawler) complete(sh *shard, rid relstore.RID, row relstore.Tuple, vec textproc.TermVector, res *Fetch, rel float64, leaf taxonomy.NodeID, docRowsDone bool) error {
 	oid := row[COID].Int()
 
 	// Persist the visit: the row update is shard-owned; the harvest log and
@@ -656,7 +746,7 @@ func (c *Crawler) process(sh *shard, rid relstore.RID, row relstore.Tuple, res *
 
 	// The term rows go to the page's DOCUMENT stripe, outside the global
 	// lock (a page's vector is often hundreds of rows).
-	if !c.cfg.SkipDocuments {
+	if !c.cfg.SkipDocuments && !docRowsDone {
 		ds := c.docFor(oid)
 		ds.mu.Lock()
 		err = classifier.InsertDoc(ds.tab, oid, vec)

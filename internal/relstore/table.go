@@ -109,20 +109,31 @@ func (tb *Table) Index(name string) *Index {
 
 // Insert adds a row, maintaining all indexes.
 func (tb *Table) Insert(t Tuple) (RID, error) {
-	rec, err := EncodeTuple(nil, tb.Schema, t)
+	rid, _, err := tb.InsertBuf(nil, t)
+	return rid, err
+}
+
+// InsertBuf is Insert with a caller-owned encode buffer — the bulk-ingest
+// path. The record is encoded into buf (grown as needed) and the possibly
+// grown buffer is returned for reuse, so a tight loop loading many rows
+// pays one buffer allocation total instead of one per row. The caller may
+// also reuse the tuple itself between calls: neither the heap nor the
+// indexes retain it.
+func (tb *Table) InsertBuf(buf []byte, t Tuple) (RID, []byte, error) {
+	rec, err := EncodeTuple(buf[:0], tb.Schema, t)
 	if err != nil {
-		return RID{}, err
+		return RID{}, buf, err
 	}
 	rid, err := tb.heap.Insert(rec)
 	if err != nil {
-		return RID{}, err
+		return RID{}, rec, err
 	}
 	for _, ix := range tb.indexes {
 		if err := ix.Tree.Insert(ix.Key(t), EncodeRID(rid)); err != nil {
-			return RID{}, err
+			return RID{}, rec, err
 		}
 	}
-	return rid, nil
+	return rid, rec, nil
 }
 
 // Get decodes the row at rid.

@@ -52,24 +52,37 @@ func (w *Web) ResetFetches() {
 }
 
 // Fetch simulates retrieving a URL over the network. It costs one fetch
-// attempt, may sleep (FetchLatency), may transiently fail (ErrTimeout), and
-// returns ErrNotFound for URLs that do not resolve to a page.
+// attempt, sleeps for a simulated latency drawn as FetchLatency/2 +
+// U[0, FetchLatency) when FetchLatency is set (mean FetchLatency, never
+// less than half of it), may transiently fail (ErrTimeout), and returns
+// ErrNotFound for URLs that do not resolve to a page.
+//
+// Both random draws — latency jitter first, then the timeout roll, each
+// taken only when its feature is enabled — come from one critical section
+// on the shared failure RNG, in exactly that order: under a multi-worker
+// crawl the lock is on the fetch hot path, and taking it once instead of
+// twice halves its traffic without perturbing the RNG stream the golden
+// crawls are pinned to.
 func (w *Web) Fetch(url string) (*FetchResult, error) {
 	w.fetches.Add(1)
-	if w.Cfg.FetchLatency > 0 {
+	var jit time.Duration
+	var timedOut bool
+	if w.Cfg.FetchLatency > 0 || w.Cfg.TimeoutRate > 0 {
 		w.mu.Lock()
-		jit := time.Duration(w.failRng.Int63n(int64(w.Cfg.FetchLatency)))
+		if w.Cfg.FetchLatency > 0 {
+			jit = time.Duration(w.failRng.Int63n(int64(w.Cfg.FetchLatency)))
+		}
+		if w.Cfg.TimeoutRate > 0 {
+			timedOut = w.failRng.Float64() < w.Cfg.TimeoutRate
+		}
 		w.mu.Unlock()
+	}
+	if w.Cfg.FetchLatency > 0 {
 		time.Sleep(w.Cfg.FetchLatency/2 + jit)
 	}
-	if w.Cfg.TimeoutRate > 0 {
-		w.mu.Lock()
-		to := w.failRng.Float64() < w.Cfg.TimeoutRate
-		w.mu.Unlock()
-		if to {
-			w.timeouts.Add(1)
-			return nil, ErrTimeout
-		}
+	if timedOut {
+		w.timeouts.Add(1)
+		return nil, ErrTimeout
 	}
 	idx, ok := w.byURL[url]
 	if !ok {
@@ -105,39 +118,61 @@ type LinkStats struct {
 	// measured over all (page, T) pairs exactly as the paper's Yahoo!
 	// measurement (~45%) is: a page's own topic counts too.
 	CondSecondLink float64
-	// BaseTopicLink is P[a random link lands in a fixed topic T], averaged
-	// over topics — the unconditional baseline the radius-2 rule beats.
+	// BaseTopicLink is P[a random link lands in a fixed topic T], measured
+	// from the actual link destinations and averaged over the same
+	// (page, T) pairs CondSecondLink conditions on — the unconditional
+	// baseline the radius-2 rule beats. For each pair, the probability
+	// that one more uniformly random link would land in T is T's share of
+	// all link destinations; under skewed topic sizes that share is far
+	// from the uniform-topic 1/#topics guess (popular topics attract more
+	// links and appear in more pairs), so this must be measured, not
+	// assumed.
 	BaseTopicLink float64
 }
 
 // MeasureLinkStats computes LinkStats over the whole graph.
 func (w *Web) MeasureLinkStats() LinkStats {
+	// First pass: per-topic destination counts, so a topic's share of all
+	// link destinations is known before the per-pair average below.
 	var links, same int64
-	withOne, withTwo := 0, 0
+	destCount := map[int32]int64{}
 	for _, p := range w.Pages {
-		counts := map[int32]int{}
 		for _, dst := range p.Links {
 			links++
 			t := w.Pages[dst].Topic
 			if t == p.Topic {
 				same++
 			}
-			counts[int32(t)]++
+			destCount[int32(t)]++
 		}
-		for _, c := range counts {
+	}
+	st := LinkStats{}
+	if links == 0 {
+		return st
+	}
+	st.SameTopicFrac = float64(same) / float64(links)
+	// Second pass: (page, T) pairs with at least one link into T — the
+	// radius-2 conditioning set — accumulating both the >=2 numerator and
+	// each pair's unconditional baseline P[a random link lands in T].
+	withOne, withTwo := 0, 0
+	var baseSum float64
+	counts := map[int32]int{}
+	for _, p := range w.Pages {
+		clear(counts)
+		for _, dst := range p.Links {
+			counts[int32(w.Pages[dst].Topic)]++
+		}
+		for t, c := range counts {
 			withOne++
 			if c >= 2 {
 				withTwo++
 			}
+			baseSum += float64(destCount[t]) / float64(links)
 		}
-	}
-	st := LinkStats{}
-	if links > 0 {
-		st.SameTopicFrac = float64(same) / float64(links)
-		st.BaseTopicLink = 1 / float64(len(w.topicPages))
 	}
 	if withOne > 0 {
 		st.CondSecondLink = float64(withTwo) / float64(withOne)
+		st.BaseTopicLink = baseSum / float64(withOne)
 	}
 	return st
 }

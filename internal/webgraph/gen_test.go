@@ -101,6 +101,39 @@ func TestRadius2Rule(t *testing.T) {
 	}
 }
 
+// TestBaseTopicLinkMeasuredNotAssumed pins that BaseTopicLink is computed
+// from actual link destinations, not the uniform-topic 1/#topics guess the
+// old implementation hardcoded: under skewed topic sizes popular topics
+// attract a disproportionate share of links and appear in more of the
+// (page, T) pairs the radius-2 measurement conditions on, so the measured
+// baseline must come out well above uniform — and the radius-2 conditional
+// must still beat the honest (harder) baseline.
+func TestBaseTopicLinkMeasuredNotAssumed(t *testing.T) {
+	w, err := Generate(Config{
+		Seed:     5,
+		NumPages: 5000,
+		// One topic twelve times the page mass of an ordinary one, on top
+		// of the default general-subtree weighting.
+		TopicWeights: map[string]float64{"cycling": 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.MeasureLinkStats()
+	uniform := 1 / float64(len(w.Cfg.Tree.Leaves()))
+	if st.BaseTopicLink <= 0 {
+		t.Fatalf("BaseTopicLink = %f, want > 0", st.BaseTopicLink)
+	}
+	if st.BaseTopicLink < 1.25*uniform {
+		t.Fatalf("skewed-web baseline %.4f should diverge above the uniform guess %.4f",
+			st.BaseTopicLink, uniform)
+	}
+	if st.CondSecondLink < 2*st.BaseTopicLink {
+		t.Fatalf("radius-2 must beat the measured baseline: cond=%.4f base=%.4f",
+			st.CondSecondLink, st.BaseTopicLink)
+	}
+}
+
 func TestTokensReflectTopic(t *testing.T) {
 	w := testWeb(t, 2000, 3)
 	cyc := w.Cfg.Tree.ByName("cycling")
