@@ -222,6 +222,40 @@ func BenchmarkCrawlWorkersLinkHeavy(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepStripes measures the per-visit incoming-weight sweep as the
+// LINK stripe count grows, dst-routed vs the legacy probe-every-stripe
+// sweep, on the link-heavy workload in the disk-resident regime. The
+// routed/unrouted pages-per-second pair prints side by side with the
+// probes-per-sweep figures; a regression in the dst registry shows up as
+// routed-probes/sweep climbing toward the stripe count, and a regression
+// in the routed path itself as the gain collapsing toward 1x at 32
+// stripes.
+func BenchmarkSweepStripes(b *testing.B) {
+	for _, stripes := range []int{8, 32} {
+		b.Run(fmt.Sprintf("stripes=%d", stripes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Bench-friendly budget: the trend (routed flat, legacy
+				// degrading in stripes) shows well before the full study's
+				// crawl length; focusexp -fig sweep runs the full sizes.
+				r, err := eval.RunSweepScaling(eval.SweepScalingConfig{
+					Web:     webgraph.Config{Seed: 99},
+					Budget:  500,
+					Stripes: []int{stripes},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p := r.Points[0]
+				b.ReportMetric(p.Routed.PagesPerSec, "routed-pages/sec")
+				b.ReportMetric(p.Unrouted.PagesPerSec, "unrouted-pages/sec")
+				b.ReportMetric(p.Routed.ProbesPerSweep, "routed-probes/sweep")
+				b.ReportMetric(p.Unrouted.ProbesPerSweep, "unrouted-probes/sweep")
+				b.ReportMetric(p.RoutedGain, "routed-gain")
+			}
+		})
+	}
+}
+
 // BenchmarkDistillStall compares total crawl-worker stall attributable to
 // distillation between the legacy stop-the-world barrier and the
 // concurrent snapshot-and-go pipeline, on the link-heavy workload with

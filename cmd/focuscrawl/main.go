@@ -31,6 +31,7 @@ func main() {
 		barrier = flag.Bool("distillbarrier", false, "legacy stop-the-world distillation (workers stall for the whole HITS run)")
 		cbatch  = flag.Int("classifybatch", 0, "batched in-crawl classification: accumulate this many pages per bulk classify (<=1 = inline)")
 		cpar    = flag.Int("classifypar", 0, "classification batch partitions by did (0/1 = serial)")
+		unswept = flag.Bool("unroutedsweep", false, "disable dst-routing of incoming-weight sweeps (probe every LINK stripe per visit; A/B measurement)")
 	)
 	flag.Parse()
 
@@ -65,6 +66,7 @@ func main() {
 			Distill:             distiller.Config{Parallelism: *dpar},
 			ClassifyBatch:       *cbatch,
 			ClassifyParallelism: *cpar,
+			UnroutedSweep:       *unswept,
 		},
 	})
 	if err != nil {
@@ -97,7 +99,7 @@ func main() {
 		os.Exit(1)
 	}
 	for _, b := range buckets {
-		fmt.Printf("  %6d-%6d  avg relevance %.3f\n", b.Bucket*100, b.Bucket*100+99, b.AvgRel)
+		fmt.Printf("  %6d-%6d  avg exp(relevance) %.3f\n", b.Bucket*100, b.Bucket*100+99, b.AvgExpRel)
 	}
 
 	fmt.Println("\nclass census (top 8):")

@@ -8,11 +8,13 @@
 //
 // Figures: 5 (harvest rate, a+b), 6 (coverage, a+b), 7 (distance
 // histogram + hubs), 8a (classifier variants), 8b (memory scaling),
-// 8c (output scaling), 8d (distiller variants), plus three studies beyond
+// 8c (output scaling), 8d (distiller variants), plus four studies beyond
 // the paper: scale (worker scaling of the sharded frontier), stall
-// (distillation worker stall, barrier vs snapshot-and-go), and classify
+// (distillation worker stall, barrier vs snapshot-and-go), classify
 // (the in-crawl classification batch sweep — Figure 8a's set-oriented
-// claim applied to the crawl hot path).
+// claim applied to the crawl hot path), and sweep (incoming-weight sweep
+// cost by LINK stripe count, dst-routed vs probe-every-stripe; -json
+// writes its numbers as a machine-readable artifact).
 package main
 
 import (
@@ -27,7 +29,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to run: 5, 6, 7, 8a, 8b, 8c, 8d, scale, stall, classify, all")
+		fig        = flag.String("fig", "all", "figure to run: 5, 6, 7, 8a, 8b, 8c, 8d, scale, stall, classify, sweep, all")
 		seed       = flag.Int64("seed", 1999, "random seed")
 		pages      = flag.Int("pages", 30000, "synthetic web size for crawl experiments")
 		budget     = flag.Int64("budget", 4000, "fetch budget for crawl experiments")
@@ -39,6 +41,7 @@ func main() {
 		distillpar = flag.Int("distillpar", 2, "distiller join partitions for the stall figure")
 		cpar       = flag.Int("classifypar", 0, "classification batch partitions by did for the classify figure (0/1 = serial)")
 		cbatch     = flag.Int("classifybatch", 0, "classify figure: sweep {1, N} instead of the default batch sizes (0 = default sweep)")
+		jsonPath   = flag.String("json", "", "sweep figure: also write the study as JSON to this path (the CI BENCH_sweep.json artifact)")
 	)
 	flag.Parse()
 
@@ -189,6 +192,36 @@ func main() {
 			return err
 		}
 		r.Render(os.Stdout)
+		return nil
+	})
+
+	run("sweep", func() error {
+		// Incoming-weight sweep cost by LINK stripe count: the same
+		// link-heavy crawl at stripes 1/8/32/128, dst-routed vs the legacy
+		// probe-every-stripe sweep, in the paper's disk-resident regime
+		// (small buffer pool plus simulated page-read latency, as the
+		// figure 8 experiments run). The study sizes its own web — a small
+		// page population at hub density, so LINK dominates the I/O
+		// working set — hence only seed, topic, and budget pass through.
+		r, err := eval.RunSweepScaling(eval.SweepScalingConfig{
+			Web:   webgraph.Config{Seed: *seed, TopicWeights: map[string]float64{*topic: *weight}},
+			Topic: *topic, Budget: *budget / 4,
+		})
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			if err := r.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
 		return nil
 	})
 

@@ -63,9 +63,9 @@ func main() {
 		// "select minute(lastvisited), avg(exp(relevance)) from CRAWL ..."
 		rows, err := sys.Crawler.HarvestByWindow(100)
 		check(err)
-		fmt.Printf("%10s %8s %10s\n", "window", "visits", "avg rel")
+		fmt.Printf("%10s %8s %12s\n", "window", "visits", "avg exp(rel)")
 		for _, r := range rows {
-			fmt.Printf("%10d %8d %10.3f\n", r.Bucket, r.Count, r.AvgRel)
+			fmt.Printf("%10d %8d %12.3f\n", r.Bucket, r.Count, r.AvgExpRel)
 		}
 	case "missed":
 		// The psi-percentile hub neighborhood query at the end of §3.7.

@@ -23,8 +23,11 @@
 //     relation is partitioned by server hash into per-worker shards, each
 //     with its own B+tree priority index checked out in (numtries ASC,
 //     relevance DESC, serverload ASC) order, with work stealing between
-//     shards; monitors read the latest published distillation epoch,
-//     which may trail the crawl by the epoch still computing.
+//     shards; the LINK relation is striped by source with incoming-weight
+//     sweeps dst-routed through a stripe-presence registry, so a visit
+//     touches only the stripes holding edges into it; monitors read the
+//     latest published distillation epoch — without stopping the crawl —
+//     which may trail it by the epoch still computing.
 //
 // Quick start:
 //

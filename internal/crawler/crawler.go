@@ -96,6 +96,11 @@ type Config struct {
 	// SkipDocuments disables populating the DOCUMENT relation (saves space
 	// when the corpus will not be re-classified in bulk).
 	SkipDocuments bool
+	// UnroutedSweep disables dst-routing of the incoming-weight sweep, so
+	// every visit locks and probes every LINK stripe's bydst index (the
+	// pre-registry behavior). Measurement-only: eval.RunSweepScaling uses it
+	// for the routed-vs-unrouted A/B; results are identical either way.
+	UnroutedSweep bool
 }
 
 func (c Config) withDefaults() Config {
@@ -294,6 +299,7 @@ func New(db *relstore.DB, model *classifier.Model, fetcher Fetcher, cfg Config) 
 	if c.links, err = linkgraph.New(db, c.cfg.LinkStripes); err != nil {
 		return nil, err
 	}
+	c.links.SetRouted(!c.cfg.UnroutedSweep)
 	// HUBS and AUTH are double-buffered: the published pair is what
 	// monitors read; the spare pair is the scratch space the next
 	// distillation epoch builds into before the swap publishes it. Roles
@@ -1127,8 +1133,8 @@ type boostTarget struct {
 // semantics cannot drift between them. Returns nil when the table is
 // empty or every score is zero.
 func topDecileHubs(hubs *relstore.Table) ([]int64, error) {
-	psi, err := distiller.Percentile(hubs, 0.9)
-	if err != nil || psi == 0 {
+	psi, ok, err := distiller.Percentile(hubs, 0.9)
+	if err != nil || !ok || psi == 0 {
 		return nil, err
 	}
 	var tops []int64

@@ -1,6 +1,8 @@
 package crawler
 
 import (
+	"errors"
+	"math"
 	"sort"
 
 	"focus/internal/distiller"
@@ -13,8 +15,10 @@ import (
 // the crawl relations exactly as the paper's SQL is. They are what made the
 // DBMS-backed design pleasant to operate: harvest plots, stagnation
 // diagnosis by class census, and the missed-neighbors-of-great-hubs probe.
-// Each query takes the stop-the-world barrier so it sees a consistent
-// cross-shard state even while workers run.
+// Queries over CRAWL and LINK take the stop-the-world barrier so they see a
+// consistent cross-shard state even while workers run; queries over only
+// the published scores (TopHubURLs, TopAuthorityURLs) do not — see the
+// contract below.
 //
 // Staleness contract: CRAWL and LINK reads are exact as of the barrier,
 // but HUBS/AUTH are the *published* distillation buffers — under the
@@ -22,7 +26,15 @@ import (
 // epoch (the snapshot currently computing in the background; see
 // Crawler.DistillEpochs). A query never observes a torn or half-written
 // score table: epochs build in a private buffer and publish by swapping
-// the pointers under the global mutex, which every query here holds.
+// the pointers under the global mutex, so published-score reads need only
+// the global mutex, never the barrier — topURLs snapshots the scores under
+// c.mu alone and resolves URLs shard by shard, and crawl workers keep
+// fetching throughout (the monitor-under-load stress test pins that).
+
+// ErrNoDistillation reports a monitoring query that needs distilled scores
+// before any distillation epoch has published them (hub-percentile
+// thresholds are undefined over an empty score table).
+var ErrNoDistillation = errors.New("crawler: no distillation epoch published yet")
 
 // HarvestBucket is one window of the harvest-rate monitor (the applet's
 // "select minute(lastvisited), avg(exp(relevance))" query, with visit
@@ -30,11 +42,15 @@ import (
 type HarvestBucket struct {
 	Bucket int64 // window index: lastvisited / window
 	Count  int64
-	AvgRel float64
+	// AvgExpRel is avg(exp(relevance)) over the window's visits — the
+	// paper's §3.7 monitor quantity, which exaggerates swings near the top
+	// of the relevance range so harvest-rate dips stand out in the plot.
+	AvgExpRel float64
 }
 
 // HarvestByWindow groups visited pages into fixed-size visit windows and
-// averages their relevance, using the store's sort + group-by operators.
+// computes the paper's avg(exp(relevance)) per window, using the store's
+// sort + group-by operators.
 func (c *Crawler) HarvestByWindow(window int64) ([]HarvestBucket, error) {
 	if window <= 0 {
 		window = 100
@@ -46,7 +62,7 @@ func (c *Crawler) HarvestByWindow(window int64) ([]HarvestBucket, error) {
 		if int32(t[CStatus].Int()) == StatusVisited {
 			pairRows = append(pairRows, relstore.Tuple{
 				relstore.I64(t[CLast].Int() / window),
-				relstore.F64(t[CRel].Float()),
+				relstore.F64(math.Exp(t[CRel].Float())),
 			})
 		}
 		return false, nil
@@ -73,9 +89,9 @@ func (c *Crawler) HarvestByWindow(window int64) ([]HarvestBucket, error) {
 	for _, r := range rows {
 		n := r[2].Int()
 		out = append(out, HarvestBucket{
-			Bucket: r[0].Int(),
-			Count:  n,
-			AvgRel: r[1].Float() / float64(n),
+			Bucket:    r[0].Int(),
+			Count:     n,
+			AvgExpRel: r[1].Float() / float64(n),
 		})
 	}
 	return out, nil
@@ -130,12 +146,19 @@ type MissedNeighbor struct {
 
 // MissedNeighbors runs the §3.7 query: URLs with numtries = 0 that are
 // linked from hubs above the given score percentile, across servers.
+// Before the first distillation epoch publishes there is no hub score
+// distribution to take a percentile of; that returns ErrNoDistillation
+// rather than silently treating ψ=0 as the threshold (which would report
+// every unvisited neighbor of every page as "missed").
 func (c *Crawler) MissedNeighbors(percentile float64) ([]MissedNeighbor, error) {
 	c.lockAll()
 	defer c.unlockAll()
-	psi, err := distiller.Percentile(c.hubs, percentile)
+	psi, ok, err := distiller.Percentile(c.hubs, percentile)
 	if err != nil {
 		return nil, err
+	}
+	if !ok {
+		return nil, ErrNoDistillation
 	}
 	var out []MissedNeighbor
 	err = c.hubs.Scan(func(_ relstore.RID, h relstore.Tuple) (bool, error) {
@@ -182,27 +205,58 @@ type ScoredURL struct {
 	Score float64
 }
 
-// topURLs resolves the published score buffer *under the barrier* — the
+// topURLs reads the published score buffer without stopping the world. The
 // HUBS/AUTH pointers swap when a concurrent distillation epoch publishes,
-// so they may only be dereferenced while holding the global mutex.
+// and a published table is only ever rewritten after it has been swapped
+// back to the scratch role — both transitions happen under the global
+// mutex — so holding c.mu for the whole Top selection is exactly what the
+// staleness contract requires, and nothing more: no stripe or shard lock,
+// so crawl workers keep ingesting and checking out throughout. URL
+// resolution then walks the shards one shard lock at a time; a worker
+// holds at most one shard lock itself, so monitors polling in a loop
+// interleave with ingest instead of freezing it (the old implementation
+// took the full lockAll barrier for both phases, stalling every worker per
+// poll).
 func (c *Crawler) topURLs(hubs bool, k int) ([]ScoredURL, error) {
-	c.lockAll()
-	defer c.unlockAll()
+	c.mu.Lock()
 	tb := c.auth
 	if hubs {
 		tb = c.hubs
 	}
 	top, err := distiller.Top(tb, k)
+	c.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
 	out := make([]ScoredURL, 0, len(top))
 	for _, s := range top {
-		su := ScoredURL{OID: s.OID, Score: s.Score}
-		if _, _, row, ok, err := c.lookupOIDLocked(s.OID); err == nil && ok {
-			su.URL = row[CURL].S
+		out = append(out, ScoredURL{OID: s.OID, Score: s.Score})
+	}
+	// Resolve URLs shard by shard. A scored oid's home shard is unknown
+	// (scores carry no sid), so probe each shard for all still-unresolved
+	// oids; URLs are immutable once a row exists, so resolving against the
+	// live frontier is exact even as statuses change underneath.
+	unresolved := len(out)
+	for _, sh := range c.shards {
+		if unresolved == 0 {
+			break
 		}
-		out = append(out, su)
+		sh.mu.Lock()
+		for i := range out {
+			if out[i].URL != "" {
+				continue
+			}
+			_, row, ok, err := sh.lookupLocked(out[i].OID)
+			if err != nil {
+				sh.mu.Unlock()
+				return nil, err
+			}
+			if ok {
+				out[i].URL = row[CURL].S
+				unresolved--
+			}
+		}
+		sh.mu.Unlock()
 	}
 	return out, nil
 }

@@ -164,11 +164,24 @@ func (sh *shard) checkout(hook func(*shard, relstore.Tuple), inflight *atomic.In
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	prefix := relstore.EncodeKey(relstore.I32(StatusFrontier))
+	// One index scan serves both the pop and the head hint: the first
+	// frontier key is the row to pop, and the key right after it is the
+	// shard's head once the pop commits — so no fresh B+tree descent (and
+	// no rescan allocation) per checkout, which recomputeHeadLocked used
+	// to cost on every pop even when nothing but the popped row changed.
+	// Exactness is preserved: sh.mu is held, so no mutation can interleave
+	// between the scan and the hint store.
 	var rid relstore.RID
+	var next *[]byte
 	found := false
-	err := sh.frontier.ScanPrefix(prefix, func(_ []byte, r relstore.RID) (bool, error) {
-		rid = r
-		found = true
+	err := sh.frontier.ScanPrefix(prefix, func(k []byte, r relstore.RID) (bool, error) {
+		if !found {
+			rid = r
+			found = true
+			return false, nil
+		}
+		kk := append([]byte(nil), k...)
+		next = &kk
 		return true, nil
 	})
 	if err != nil || !found {
@@ -187,9 +200,7 @@ func (sh *shard) checkout(hook func(*shard, relstore.Tuple), inflight *atomic.In
 	}
 	inflight.Add(1)
 	sh.frontierN.Add(-1)
-	if err := sh.recomputeHeadLocked(); err != nil {
-		return relstore.RID{}, nil, false, err
-	}
+	sh.head.Store(next)
 	return rid, row, true, nil
 }
 

@@ -258,15 +258,18 @@ func Top(tb *relstore.Table, k int) ([]Scored, error) {
 // used by the monitoring query that finds neglected neighbors of great
 // hubs (§3.7). The rank is nearest (round(p*(n-1))), not floored — the
 // floor truncation systematically biased every percentile low, most
-// visibly the top-decile hub threshold on small score tables.
-func Percentile(tb *relstore.Table, p float64) (float64, error) {
+// visibly the top-decile hub threshold on small score tables. ok is false
+// when the table is empty — no distillation has published scores yet — in
+// which case no percentile exists; returning (0, nil) here used to make
+// MissedNeighbors silently treat ψ=0 as a real threshold.
+func Percentile(tb *relstore.Table, p float64) (psi float64, ok bool, err error) {
 	var scores []float64
-	err := tb.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+	err = tb.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
 		scores = append(scores, t[1].Float())
 		return false, nil
 	})
 	if err != nil || len(scores) == 0 {
-		return 0, err
+		return 0, false, err
 	}
 	sort.Float64s(scores)
 	i := int(math.Round(p * float64(len(scores)-1)))
@@ -276,7 +279,7 @@ func Percentile(tb *relstore.Table, p float64) (float64, error) {
 	if i >= len(scores) {
 		i = len(scores) - 1
 	}
-	return scores[i], nil
+	return scores[i], true, nil
 }
 
 // relevanceOf loads oid -> relevance from CRAWL (sequential scan; the join

@@ -332,9 +332,12 @@ func TestTopAndPercentile(t *testing.T) {
 	if len(top) != 3 || top[0].OID != 9 || top[1].OID != 8 || top[2].OID != 7 {
 		t.Fatalf("top = %v", top)
 	}
-	p, err := Percentile(hubs, 0.9)
+	p, ok, err := Percentile(hubs, 0.9)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Percentile reported empty table for 10 rows")
 	}
 	if p < 0.7 || p > 0.9 {
 		t.Fatalf("p90 = %f", p)

@@ -61,12 +61,27 @@ func TestPercentileNearestRank(t *testing.T) {
 	}
 	for _, c := range cases {
 		tb := scoreTable(t, mk(c.n), int64(c.n)*31+int64(c.p*100))
-		got, err := Percentile(tb, c.p)
+		got, ok, err := Percentile(tb, c.p)
 		if err != nil {
 			t.Fatal(err)
 		}
+		if !ok {
+			t.Errorf("Percentile(n=%d, p=%.2f) reported an empty table", c.n, c.p)
+		}
 		if got != c.want {
 			t.Errorf("Percentile(n=%d, p=%.2f) = %v, want %v", c.n, c.p, got, c.want)
+		}
+	}
+
+	// The empty table has no percentile at any p: ok must be false, so
+	// callers can distinguish "no distillation yet" from a real ψ=0.
+	for _, p := range []float64{0, 0.5, 0.9, 1} {
+		got, ok, err := Percentile(scoreTable(t, nil, 1), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok || got != 0 {
+			t.Errorf("Percentile(empty, p=%.2f) = (%v, %v), want (0, false)", p, got, ok)
 		}
 	}
 }

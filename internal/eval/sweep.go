@@ -1,0 +1,255 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"focus/internal/classifier"
+	"focus/internal/core"
+	"focus/internal/crawler"
+	"focus/internal/relstore"
+	"focus/internal/taxonomy"
+	"focus/internal/webgraph"
+)
+
+// SweepScalingConfig drives the incoming-weight sweep study: the same
+// link-heavy focused crawl run at several LINK stripe counts, once with the
+// dst-routed sweep (the default) and once with the legacy
+// probe-every-stripe sweep, at a fixed worker count. Before routing, the
+// per-visit UpdateIncomingFwd locked and descended every stripe's bydst
+// index, so the one remaining per-visit O(stripes) operation taxed exactly
+// the striping that exists for parallelism; the study shows the routed
+// sweep's cost flat in stripe count.
+//
+// The study runs in the paper's disk-resident regime, like the Figure 8
+// experiments: a buffer pool sized well below the crawl's working set plus
+// simulated per-page-I/O latency, the setting the 1999 system actually
+// lived in (its crawl graphs exceeded the memory shared with classifier
+// and distiller). That is where the unrouted sweep hurts most — every
+// visit drags every stripe's bydst pages through the pool whether or not
+// the stripe holds an edge into the page — and where the routed sweep's
+// saved descents translate into saved page reads, not just saved memcpys.
+type SweepScalingConfig struct {
+	Web     webgraph.Config
+	Topic   string
+	Seeds   int
+	Budget  int64
+	Workers int
+	// Stripes lists the LinkStripes values to sweep (default 1, 8, 32, 128).
+	Stripes []int
+	// Frames sizes the buffer pool (default max(128, Budget/5) 4 KiB
+	// frames — deliberately far below the crawl's working set so bydst
+	// descents miss; see above).
+	Frames int
+	// DiskLatency is the simulated per-page-I/O delay (default 5µs). The
+	// wall cost of a miss is dominated by sleep granularity rather than
+	// the configured value, so treat absolute pages/sec as
+	// regime-relative; the routed/unrouted ratio and the I/O counts are
+	// the meaningful outputs.
+	DiskLatency time.Duration
+}
+
+func (c SweepScalingConfig) withDefaults() SweepScalingConfig {
+	if c.Topic == "" {
+		c.Topic = "cycling"
+	}
+	if c.Seeds == 0 {
+		c.Seeds = 20
+	}
+	if c.Budget == 0 {
+		c.Budget = 900
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if len(c.Stripes) == 0 {
+		c.Stripes = []int{1, 8, 32, 128}
+	}
+	if c.Frames == 0 {
+		c.Frames = int(c.Budget / 5)
+		if c.Frames < 128 {
+			c.Frames = 128
+		}
+	}
+	if c.DiskLatency == 0 {
+		c.DiskLatency = 5 * time.Microsecond
+	}
+	if c.Web.NumPages == 0 {
+		// A small page population with LinkHeavyWeb's hub density: the
+		// CRAWL relation stays pool-resident while the LINK relation — the
+		// biggest relation on this workload — dominates the I/O working
+		// set, so the study isolates what the sweep itself costs. The
+		// caller's seed and topic weighting survive the substitution.
+		tw := c.Web.TopicWeights
+		c.Web = LinkHeavyWeb(c.Web.Seed, 1500)
+		if tw != nil {
+			c.Web.TopicWeights = tw
+		}
+	}
+	return c
+}
+
+// SweepRunStats is one crawl's measurement at a fixed stripe count and
+// sweep mode.
+type SweepRunStats struct {
+	Visited     int64         `json:"visited"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	PagesPerSec float64       `json:"pages_per_sec"`
+	// Sweeps counts UpdateIncomingFwd calls (one per visit plus barrier
+	// drains); StripeProbes the stripe locks + bydst descents they cost.
+	Sweeps         int64   `json:"sweeps"`
+	StripeProbes   int64   `json:"stripe_probes"`
+	ProbesPerSweep float64 `json:"probes_per_sweep"`
+	// DiskReads counts page reads during the crawl — the I/O the unrouted
+	// sweep's pointless descents add.
+	DiskReads int64 `json:"disk_reads"`
+}
+
+// SweepScalingPoint pairs the routed and unrouted measurements at one
+// stripe count.
+type SweepScalingPoint struct {
+	Stripes  int           `json:"stripes"`
+	Routed   SweepRunStats `json:"routed"`
+	Unrouted SweepRunStats `json:"unrouted"`
+	// RoutedGain is routed pages/sec over unrouted pages/sec — how much
+	// end-to-end throughput dst-routing buys at this stripe count.
+	RoutedGain float64 `json:"routed_gain"`
+}
+
+// SweepScalingResult carries the study.
+type SweepScalingResult struct {
+	Workers int                 `json:"workers"`
+	Frames  int                 `json:"frames"`
+	Points  []SweepScalingPoint `json:"points"`
+}
+
+// RunSweepScaling measures focused-crawl throughput, sweep probe counts,
+// and page reads as the LINK stripe count grows, routed vs unrouted, one
+// fresh system per run over the same synthetic web. The system is composed
+// by hand (as RunDistillerPerf does) so the buffer pool and disk latency
+// are under the study's control; latency applies to the crawl only, not to
+// web generation or classifier training.
+func RunSweepScaling(cfg SweepScalingConfig) (*SweepScalingResult, error) {
+	cfg = cfg.withDefaults()
+	web, err := webgraph.Generate(cfg.Web)
+	if err != nil {
+		return nil, err
+	}
+	run := func(stripes int, unrouted bool) (SweepRunStats, error) {
+		web.ResetFetches()
+		tree := web.Cfg.Tree
+		node := tree.ByName(cfg.Topic)
+		if node == nil {
+			return SweepRunStats{}, fmt.Errorf("eval: unknown topic %q", cfg.Topic)
+		}
+		if tree.Mark(node.ID) != taxonomy.MarkGood {
+			if err := tree.MarkGood(node.ID); err != nil {
+				return SweepRunStats{}, err
+			}
+		}
+		disk := relstore.NewMemDisk()
+		db := relstore.Open(relstore.Options{Disk: disk, Frames: cfg.Frames})
+		examples := classifier.Examples{}
+		for _, leaf := range tree.Leaves() {
+			examples[leaf.ID] = web.ExampleDocs(leaf.ID, 25)
+		}
+		model, err := classifier.Train(db, tree, examples, classifier.TrainConfig{})
+		if err != nil {
+			return SweepRunStats{}, err
+		}
+		cr, err := crawler.New(db, model, core.NewFetcher(web), crawler.Config{
+			Workers:       cfg.Workers,
+			LinkStripes:   stripes,
+			MaxFetches:    cfg.Budget,
+			SkipDocuments: true,
+			UnroutedSweep: unrouted,
+		})
+		if err != nil {
+			return SweepRunStats{}, err
+		}
+		if err := cr.Seed(web.Seeds(node.ID, cfg.Seeds)); err != nil {
+			return SweepRunStats{}, err
+		}
+		disk.Stats().Reset()
+		disk.SetLatency(cfg.DiskLatency)
+		res, err := cr.Run()
+		disk.SetLatency(0)
+		if err != nil {
+			return SweepRunStats{}, err
+		}
+		sweeps, probes := cr.Links().SweepStats()
+		reads, _ := disk.Stats().Snapshot()
+		st := SweepRunStats{
+			Visited:      res.Visited,
+			Elapsed:      res.Elapsed,
+			Sweeps:       sweeps,
+			StripeProbes: probes,
+			DiskReads:    reads,
+		}
+		if res.Elapsed > 0 {
+			st.PagesPerSec = float64(res.Visited) / res.Elapsed.Seconds()
+		}
+		if sweeps > 0 {
+			st.ProbesPerSweep = float64(probes) / float64(sweeps)
+		}
+		return st, nil
+	}
+	out := &SweepScalingResult{Workers: cfg.Workers, Frames: cfg.Frames}
+	for _, stripes := range cfg.Stripes {
+		p := SweepScalingPoint{Stripes: stripes}
+		if p.Routed, err = run(stripes, false); err != nil {
+			return nil, err
+		}
+		if p.Unrouted, err = run(stripes, true); err != nil {
+			return nil, err
+		}
+		if p.Unrouted.PagesPerSec > 0 {
+			p.RoutedGain = p.Routed.PagesPerSec / p.Unrouted.PagesPerSec
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// PointAt returns the point measured at the given stripe count, if any.
+func (r *SweepScalingResult) PointAt(stripes int) (SweepScalingPoint, bool) {
+	for _, p := range r.Points {
+		if p.Stripes == stripes {
+			return p, true
+		}
+	}
+	return SweepScalingPoint{}, false
+}
+
+// WriteJSON emits the study as indented JSON — the BENCH_sweep.json
+// artifact CI archives so the sweep-cost trajectory is machine-readable
+// across commits.
+func (r *SweepScalingResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Render prints the sweep table plus the headline flatness and gain lines.
+func (r *SweepScalingResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Incoming-weight sweep scaling (%d workers, link-heavy web, %d-frame pool)\n",
+		r.Workers, r.Frames)
+	fmt.Fprintf(w, "%8s %7s %8s %10s %12s %12s %10s %8s\n",
+		"stripes", "mode", "visited", "elapsed", "pages/sec", "probes/sweep", "reads", "gain")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%8d %7s %8d %10s %12.1f %12.2f %10d %8s\n",
+			p.Stripes, "routed", p.Routed.Visited, rnd(p.Routed.Elapsed),
+			p.Routed.PagesPerSec, p.Routed.ProbesPerSweep, p.Routed.DiskReads, "")
+		fmt.Fprintf(w, "%8s %7s %8d %10s %12.1f %12.2f %10d %7.2fx\n",
+			"", "legacy", p.Unrouted.Visited, rnd(p.Unrouted.Elapsed),
+			p.Unrouted.PagesPerSec, p.Unrouted.ProbesPerSweep, p.Unrouted.DiskReads, p.RoutedGain)
+	}
+	if p8, ok8 := r.PointAt(8); ok8 {
+		if p32, ok32 := r.PointAt(32); ok32 && p8.Routed.PagesPerSec > 0 {
+			fmt.Fprintf(w, "routed pages/sec at 32 stripes vs 8: %.2f (1.00 = perfectly flat)\n",
+				p32.Routed.PagesPerSec/p8.Routed.PagesPerSec)
+		}
+	}
+}

@@ -16,11 +16,23 @@
 // single LINK table of the pre-stripe crawler, bit for bit: one heap, the
 // same insertion order, the same index keys.
 //
+// Incoming-weight sweeps (UpdateIncomingFwd) are dst-routed: a sharded
+// dst -> stripe-presence registry, maintained at ingest under the stripe
+// lock, names the stripes holding edges into a target, and a sweep locks
+// and probes only those — O(in-degree stripes) instead of O(Stripes) per
+// visit. See registry.go for the registry and the registration-ordering
+// argument that keeps routed sweeps exact against concurrent ingest.
+//
 // # Lock ordering
 //
 // Stripe mutexes rank below every crawler lock: a goroutine may acquire a
 // frontier-shard mutex or the crawler's global mutex while holding a stripe
 // mutex (Apply's weight callback does exactly that), but never the reverse.
+// Registry shard mutexes sit outside the stripe order as pure leaf locks:
+// applyLocked registers destinations while holding its stripe lock, sweeps
+// read masks holding nothing, and nothing is ever acquired while a registry
+// lock is held (sweeps copy the mask out first) — so no cycle can involve
+// them.
 // Multi-stripe operations (LockAll, Apply, UpdateIncomingFwd, the snapshot
 // iterators) take stripe locks in ascending id order, one at a time unless
 // a consistent cross-stripe view is required. The crawler's stop-the-world
@@ -30,7 +42,9 @@ package linkgraph
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"focus/internal/relstore"
 )
@@ -118,6 +132,20 @@ type stripe struct {
 type Store struct {
 	db      *relstore.DB
 	stripes []*stripe
+
+	// reg is the dst -> stripe-presence registry that routes incoming-weight
+	// sweeps to only the stripes storing edges into the target; see
+	// registry.go and UpdateIncomingFwd. routed (default true) can be
+	// cleared for A/B measurement of the legacy every-stripe sweep.
+	reg    *dstRegistry
+	routed bool
+
+	// sweeps counts UpdateIncomingFwd/UpdateIncomingFwdLocked calls;
+	// sweepProbes counts the stripes those sweeps locked and probed. Their
+	// ratio is the per-visit sweep cost the routing flattens — the quantity
+	// eval.RunSweepScaling reports.
+	sweeps      atomic.Int64
+	sweepProbes atomic.Int64
 }
 
 // New creates the stripe tables LINK#0 … LINK#n-1 in db, each with bysrc
@@ -127,7 +155,7 @@ func New(db *relstore.DB, n int) (*Store, error) {
 	if n <= 0 {
 		n = 1
 	}
-	s := &Store{db: db}
+	s := &Store{db: db, reg: newDstRegistry(n), routed: true}
 	for i := 0; i < n; i++ {
 		st := &stripe{id: i}
 		var err error
@@ -189,7 +217,9 @@ func (s *Store) UnlockAll() {
 // visit of the target: the visitor marks its CRAWL row visited before
 // rewriting incoming weights (UpdateIncomingFwd), so an ingester either
 // observes the visited row here, or inserts early enough that the rewrite
-// sweeps its edge.
+// sweeps its edge — the dst registry is updated before this callback runs
+// (see applyLocked), so a routed rewrite always knows about the stripe such
+// an early insert lands in.
 type WeightFunc func(Edge) (float64, error)
 
 // Apply ingests a batch in one pass: edges are grouped by stripe, stripes
@@ -216,16 +246,29 @@ func (s *Store) Apply(b *Batch, weight WeightFunc) ([]bool, error) {
 			continue
 		}
 		st := s.stripes[si]
-		if err := st.applyLocked(idxs, b.edges, weight, inserted); err != nil {
+		if err := st.applyLocked(idxs, b.edges, weight, inserted, s.reg); err != nil {
 			return nil, err
 		}
 	}
 	return inserted, nil
 }
 
-func (st *stripe) applyLocked(idxs []int, edges []Edge, weight WeightFunc, inserted []bool) error {
+func (st *stripe) applyLocked(idxs []int, edges []Edge, weight WeightFunc, inserted []bool, reg *dstRegistry) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	// Register every destination in the dst registry BEFORE running any
+	// weight callback. The ordering is what keeps routed sweeps exact: if
+	// this batch's callback reads a target's row before its visitor marks it
+	// visited (and so inserts a stale radius-1 weight), the registration
+	// here preceded that read, and the visitor's sweep — whose registry
+	// lookup happens after the visited mark — is guaranteed to see this
+	// stripe's bit, block on our stripe lock, and rewrite the edge once we
+	// commit. Registering a destination whose edge then dedups away is
+	// harmless: the bit was already set by the stored copy (same src, same
+	// stripe), so masks never name a stripe without edges into the dst.
+	for _, i := range idxs {
+		reg.add(edges[i].Dst, st.id)
+	}
 	for _, i := range idxs {
 		e := edges[i]
 		key := relstore.EncodeKey(relstore.I64(e.Src), relstore.I64(e.Dst))
@@ -297,41 +340,90 @@ func (st *stripe) scanBySrc(src int64, fn func(Edge) (bool, error)) error {
 
 // UpdateIncomingFwd sets wgt_fwd = fwd on every stored edge into dst — the
 // crawler's trigger once the target's true relevance is known. Incoming
-// edges are striped by their sources, so every stripe's bydst index is
-// consulted, each under its own lock in ascending order. Callers must not
-// hold any shard or global lock (stripe locks rank below both) and must
-// have published the target's visited state first; see WeightFunc.
+// edges are striped by their sources, so they may live in any stripe; the
+// dst registry names the stripes actually holding edges into dst, and only
+// those are locked and probed, in ascending id order — O(in-degree stripes)
+// lock acquisitions and bydst descents per visit instead of O(NumStripes).
+// The rewrite itself is unchanged, so the result is bit-identical to the
+// every-stripe sweep at any stripe count (probing an edge-free stripe was
+// always a no-op); SetRouted(false) restores that legacy sweep for A/B
+// measurement. Callers must not hold any shard or global lock (stripe locks
+// rank below both) and must have published the target's visited state
+// first; see WeightFunc and the registration ordering in Apply.
 func (s *Store) UpdateIncomingFwd(dst int64, fwd float64) error {
-	for _, st := range s.stripes {
+	return s.sweep(dst, fwd, func(st *stripe, prefix []byte) error {
 		st.mu.Lock()
-		err := st.updateIncomingFwd(dst, fwd)
+		err := st.updateIncomingFwd(prefix, fwd)
 		st.mu.Unlock()
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+		return err
+	})
 }
 
 // UpdateIncomingFwdLocked is UpdateIncomingFwd for callers already holding
 // every stripe lock — the crawler's barrier uses it to drain sweeps still
-// pending when a distillation stops the world.
+// pending when a distillation stops the world. It routes through the dst
+// registry exactly as the unlocked form does: registrations happen under
+// stripe locks the barrier holds, so no ingest can be mid-flight and the
+// mask is exact.
 func (s *Store) UpdateIncomingFwdLocked(dst int64, fwd float64) error {
-	for _, st := range s.stripes {
-		if err := st.updateIncomingFwd(dst, fwd); err != nil {
-			return err
+	return s.sweep(dst, fwd, func(st *stripe, prefix []byte) error {
+		return st.updateIncomingFwd(prefix, fwd)
+	})
+}
+
+// sweep walks the stripes holding edges into dst (all stripes when routing
+// is off) in ascending id order, applying the rewrite through probe. The
+// dst's mask is copied out of the registry before any stripe is touched —
+// registry locks are leaves, never held while acquiring a stripe lock.
+func (s *Store) sweep(dst int64, fwd float64, probe func(st *stripe, prefix []byte) error) error {
+	s.sweeps.Add(1)
+	prefix := relstore.EncodeKey(relstore.I64(dst))
+	if !s.routed {
+		s.sweepProbes.Add(int64(len(s.stripes)))
+		for _, st := range s.stripes {
+			if err := probe(st, prefix); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var scratch [4]uint64 // up to 256 stripes without allocating
+	mask := s.reg.snapshot(dst, scratch[:0])
+	probes := 0
+	for w, word := range mask {
+		for word != 0 {
+			si := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			probes++
+			if err := probe(s.stripes[si], prefix); err != nil {
+				return err
+			}
 		}
 	}
+	s.sweepProbes.Add(int64(probes))
 	return nil
 }
 
-func (st *stripe) updateIncomingFwd(dst int64, fwd float64) error {
+// SetRouted toggles dst-routing of incoming-weight sweeps. Routing is on by
+// default; turning it off restores the legacy probe-every-stripe sweep and
+// exists only so eval.RunSweepScaling can measure the difference. The
+// results are identical either way.
+func (s *Store) SetRouted(routed bool) { s.routed = routed }
+
+// SweepStats reports how many incoming-weight sweeps ran and how many
+// stripe probes (lock + bydst descent) they cost in total. With routing the
+// ratio is the average in-degree stripe spread of swept targets, flat in
+// NumStripes; without it the ratio is exactly NumStripes.
+func (s *Store) SweepStats() (sweeps, stripeProbes int64) {
+	return s.sweeps.Load(), s.sweepProbes.Load()
+}
+
+func (st *stripe) updateIncomingFwd(prefix []byte, fwd float64) error {
 	type upd struct {
 		rid relstore.RID
 		row relstore.Tuple
 	}
 	var ups []upd
-	prefix := relstore.EncodeKey(relstore.I64(dst))
 	err := st.bydst.ScanPrefix(prefix, func(_ []byte, rid relstore.RID) (bool, error) {
 		row, err := st.tab.Get(rid)
 		if err != nil {

@@ -129,6 +129,78 @@ func TestUpdateIncomingFwd(t *testing.T) {
 	}
 }
 
+func TestRoutedSweepProbesOnlyDstStripes(t *testing.T) {
+	// Edges into dst=9 come from srcs 1 and 2 (stripes 1 and 2 of 8); a
+	// routed sweep must probe exactly those two stripes, and a sweep of a
+	// never-linked dst must probe none.
+	s := newStore(t, 8)
+	var b Batch
+	b.Add(e(1, 9))
+	b.Add(e(2, 9))
+	b.Add(e(3, 12))
+	if _, err := s.Apply(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateIncomingFwd(9, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	sweeps, probes := s.SweepStats()
+	if sweeps != 1 || probes != 2 {
+		t.Fatalf("SweepStats = (%d, %d), want (1, 2)", sweeps, probes)
+	}
+	if err := s.UpdateIncomingFwd(77, 0.5); err != nil { // no edges into 77
+		t.Fatal(err)
+	}
+	if sweeps, probes = s.SweepStats(); sweeps != 2 || probes != 2 {
+		t.Fatalf("SweepStats after no-edge sweep = (%d, %d), want (2, 2)", sweeps, probes)
+	}
+	err := s.Scan(func(_ relstore.RID, tp relstore.Tuple) (bool, error) {
+		edge := EdgeOf(tp)
+		if edge.Dst == 9 && edge.WgtFwd != 0.75 {
+			t.Errorf("edge %d->9 wgt_fwd = %v, want 0.75", edge.Src, edge.WgtFwd)
+		}
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoutedSweepMultiWordMasks(t *testing.T) {
+	// 130 stripes needs a 3-word registry mask; srcs land on stripes 0, 65,
+	// and 129 — one bit in each word.
+	s := newStore(t, 130)
+	var b Batch
+	for _, src := range []int64{130, 65, 129} { // stripe = src % 130
+		b.Add(e(src, 7))
+	}
+	if _, err := s.Apply(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateIncomingFwd(7, 0.875); err != nil {
+		t.Fatal(err)
+	}
+	if sweeps, probes := s.SweepStats(); sweeps != 1 || probes != 3 {
+		t.Fatalf("SweepStats = (%d, %d), want (1, 3)", sweeps, probes)
+	}
+	rewritten := 0
+	err := s.Scan(func(_ relstore.RID, tp relstore.Tuple) (bool, error) {
+		if edge := EdgeOf(tp); edge.Dst == 7 {
+			if edge.WgtFwd != 0.875 {
+				t.Errorf("edge %d->7 wgt_fwd = %v, want 0.875", edge.Src, edge.WgtFwd)
+			}
+			rewritten++
+		}
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rewritten != 3 {
+		t.Fatalf("rewrote %d edges, want 3", rewritten)
+	}
+}
+
 func TestScanBySrcOrderAndIsolation(t *testing.T) {
 	s := newStore(t, 3)
 	var b Batch

@@ -92,3 +92,126 @@ func TestLinkGraphByDstMergeProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestRoutedSweepEquivalenceProperty pins the dst-routing of
+// UpdateIncomingFwd at several stripe counts: for random edge sets and a
+// random sweep sequence, the routed sweep must (a) leave the store
+// tuple-for-tuple identical to the legacy probe-every-stripe sweep, and
+// (b) lock and probe exactly the stripes that store at least one edge into
+// the swept target — no more (routing must skip edge-free stripes), no
+// fewer (a skipped stripe would strand a stale weight).
+func TestRoutedSweepEquivalenceProperty(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(500 + trial)))
+		nEdges := 50 + rng.Intn(400)
+		srcRange := int64(1 + rng.Intn(50))
+		dstRange := int64(1 + rng.Intn(40))
+		var edges []Edge
+		for i := 0; i < nEdges; i++ {
+			src := rng.Int63n(2*srcRange) - srcRange
+			dst := rng.Int63n(2*dstRange) - dstRange
+			edges = append(edges, Edge{
+				Src: src, SidSrc: int32(src % 3),
+				Dst: dst, SidDst: int32(dst % 3),
+				WgtFwd: float64(rng.Intn(100)) / 100,
+				WgtRev: float64(rng.Intn(100)) / 100,
+			})
+		}
+		// Sweep a mix of targets with in-edges and targets without any.
+		type sweep struct {
+			dst int64
+			fwd float64
+		}
+		var sweeps []sweep
+		for i := 0; i < 12; i++ {
+			sweeps = append(sweeps, sweep{
+				dst: rng.Int63n(3*dstRange) - dstRange,
+				fwd: 1 + float64(i)/16,
+			})
+		}
+
+		for _, stripes := range []int{1, 2, 5, 8, 16} {
+			t.Run(fmt.Sprintf("trial=%d/stripes=%d", trial, stripes), func(t *testing.T) {
+				load := func(routed bool) *Store {
+					s := newStore(t, stripes)
+					s.SetRouted(routed)
+					for lo := 0; lo < len(edges); lo += 60 {
+						hi := lo + 60
+						if hi > len(edges) {
+							hi = len(edges)
+						}
+						b := &Batch{}
+						for _, e := range edges[lo:hi] {
+							b.Add(e)
+						}
+						if _, err := s.Apply(b, nil); err != nil {
+							t.Fatal(err)
+						}
+					}
+					for _, sw := range sweeps {
+						if err := s.UpdateIncomingFwd(sw.dst, sw.fwd); err != nil {
+							t.Fatal(err)
+						}
+					}
+					return s
+				}
+				routed, legacy := load(true), load(false)
+
+				dump := func(s *Store) []Edge {
+					it, err := s.ByDstIter()
+					if err != nil {
+						t.Fatal(err)
+					}
+					var out []Edge
+					for {
+						tp, ok, err := it.Next()
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !ok {
+							return out
+						}
+						out = append(out, EdgeOf(tp))
+					}
+				}
+				got, want := dump(routed), dump(legacy)
+				if len(got) != len(want) {
+					t.Fatalf("routed store has %d tuples, legacy sweep leaves %d", len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("tuple %d = %+v after routed sweeps, legacy has %+v", i, got[i], want[i])
+					}
+				}
+
+				// Probe accounting: the routed store must have probed exactly
+				// the stripes holding edges into each swept dst (counting a
+				// dst once per sweep of it), the legacy store exactly
+				// stripes-per-sweep.
+				stripesInto := func(dst int64) int64 {
+					seen := map[int]bool{}
+					for _, e := range edges {
+						if e.Dst == dst {
+							seen[int(uint64(e.Src)%uint64(stripes))] = true
+						}
+					}
+					return int64(len(seen))
+				}
+				var wantProbes int64
+				for _, sw := range sweeps {
+					wantProbes += stripesInto(sw.dst)
+				}
+				nSweeps, probes := routed.SweepStats()
+				if nSweeps != int64(len(sweeps)) {
+					t.Fatalf("routed SweepStats sweeps = %d, ran %d", nSweeps, len(sweeps))
+				}
+				if probes != wantProbes {
+					t.Fatalf("routed sweeps probed %d stripes, edges into swept dsts span %d", probes, wantProbes)
+				}
+				if _, lp := legacy.SweepStats(); lp != int64(len(sweeps)*stripes) {
+					t.Fatalf("legacy sweeps probed %d stripes, want %d", lp, len(sweeps)*stripes)
+				}
+			})
+		}
+	}
+}
