@@ -11,6 +11,7 @@ import (
 	"focus/internal/core"
 	"focus/internal/crawler"
 	"focus/internal/distiller"
+	"focus/internal/eval"
 	"focus/internal/webgraph"
 )
 
@@ -32,6 +33,8 @@ func main() {
 		cbatch  = flag.Int("classifybatch", 0, "batched in-crawl classification: accumulate this many pages per bulk classify (<=1 = inline)")
 		cpar    = flag.Int("classifypar", 0, "classification batch partitions by did (0/1 = serial)")
 		unswept = flag.Bool("unroutedsweep", false, "disable dst-routing of incoming-weight sweeps (probe every LINK stripe per visit; A/B measurement)")
+		polite  = flag.Bool("polite", false, "enable the politeness stack: per-host pacing, retry backoff, circuit breakers")
+		hostile = flag.Int("hostile", 0, "web hostility level (eval.HostileWeb): per-server rate limits, outages, extra timeouts; 0 = the plain web")
 	)
 	flag.Parse()
 
@@ -48,26 +51,35 @@ func main() {
 		os.Exit(2)
 	}
 
+	wcfg := webgraph.Config{
+		Seed:         *seed,
+		NumPages:     *pages,
+		TopicWeights: map[string]float64{*topic: *weight},
+	}
+	if *hostile > 0 {
+		wcfg = eval.HostileWeb(*seed, *pages, *hostile)
+		wcfg.TopicWeights = map[string]float64{*topic: *weight}
+	}
+	ccfg := crawler.Config{
+		Workers:             *workers,
+		FrontierShards:      *shards,
+		LinkStripes:         *stripes,
+		MaxFetches:          *budget,
+		Mode:                m,
+		DistillEvery:        *distill,
+		DistillBarrier:      *barrier,
+		Distill:             distiller.Config{Parallelism: *dpar},
+		ClassifyBatch:       *cbatch,
+		ClassifyParallelism: *cpar,
+		UnroutedSweep:       *unswept,
+	}
+	if *polite {
+		ccfg = eval.PoliteCrawl(ccfg)
+	}
 	sys, err := core.NewSystem(core.Config{
-		Web: webgraph.Config{
-			Seed:         *seed,
-			NumPages:     *pages,
-			TopicWeights: map[string]float64{*topic: *weight},
-		},
+		Web:        wcfg,
 		GoodTopics: []string{*topic},
-		Crawl: crawler.Config{
-			Workers:             *workers,
-			FrontierShards:      *shards,
-			LinkStripes:         *stripes,
-			MaxFetches:          *budget,
-			Mode:                m,
-			DistillEvery:        *distill,
-			DistillBarrier:      *barrier,
-			Distill:             distiller.Config{Parallelism: *dpar},
-			ClassifyBatch:       *cbatch,
-			ClassifyParallelism: *cpar,
-			UnroutedSweep:       *unswept,
-		},
+		Crawl:      ccfg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -86,6 +98,23 @@ func main() {
 	fmt.Printf("crawl finished in %v\n", res.Elapsed.Round(1e6))
 	fmt.Printf("  visited=%d fetches=%d failed=%d dead=%d distills=%d stagnated=%v\n",
 		res.Visited, res.Fetches, res.Failed, res.Dead, res.Distills, res.Stagnated)
+	if res.Failed > 0 {
+		fmt.Printf("  failures: timeout=%d notfound=%d ratelimited=%d retries=%d breakertrips=%d\n",
+			res.TimeoutFailures, res.NotFoundFailures, res.RateLimitedFailures,
+			res.Retries, res.BreakerTrips)
+	}
+	if len(res.DeadByCause) > 0 {
+		fmt.Printf("  dead by cause:")
+		for _, cause := range []crawler.DeadCause{
+			crawler.CauseNotFound, crawler.CauseTimeoutBudget,
+			crawler.CauseRateLimited, crawler.CauseBreaker,
+		} {
+			if n := res.DeadByCause[cause]; n > 0 {
+				fmt.Printf(" %s=%d", cause, n)
+			}
+		}
+		fmt.Println()
+	}
 	if res.Distills > 0 {
 		fmt.Printf("  distill stall=%v compute=%v (barrier=%v, partitions=%d)\n",
 			res.DistillStall.Round(1e6), res.DistillCompute.Round(1e6), *barrier, *dpar)

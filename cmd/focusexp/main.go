@@ -12,9 +12,11 @@
 // the paper: scale (worker scaling of the sharded frontier), stall
 // (distillation worker stall, barrier vs snapshot-and-go), classify
 // (the in-crawl classification batch sweep — Figure 8a's set-oriented
-// claim applied to the crawl hot path), and sweep (incoming-weight sweep
-// cost by LINK stripe count, dst-routed vs probe-every-stripe; -json
-// writes its numbers as a machine-readable artifact).
+// claim applied to the crawl hot path), sweep (incoming-weight sweep
+// cost by LINK stripe count, dst-routed vs probe-every-stripe), and
+// hostile (harvest under rate limits, outages, and timeouts, naive vs
+// the polite politeness/backoff/breaker stack); for sweep and hostile,
+// -json writes the study as a machine-readable artifact.
 package main
 
 import (
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to run: 5, 6, 7, 8a, 8b, 8c, 8d, scale, stall, classify, sweep, all")
+		fig        = flag.String("fig", "all", "figure to run: 5, 6, 7, 8a, 8b, 8c, 8d, scale, stall, classify, sweep, hostile, all")
 		seed       = flag.Int64("seed", 1999, "random seed")
 		pages      = flag.Int("pages", 30000, "synthetic web size for crawl experiments")
 		budget     = flag.Int64("budget", 4000, "fetch budget for crawl experiments")
@@ -41,7 +43,7 @@ func main() {
 		distillpar = flag.Int("distillpar", 2, "distiller join partitions for the stall figure")
 		cpar       = flag.Int("classifypar", 0, "classification batch partitions by did for the classify figure (0/1 = serial)")
 		cbatch     = flag.Int("classifybatch", 0, "classify figure: sweep {1, N} instead of the default batch sizes (0 = default sweep)")
-		jsonPath   = flag.String("json", "", "sweep figure: also write the study as JSON to this path (the CI BENCH_sweep.json artifact)")
+		jsonPath   = flag.String("json", "", "sweep/hostile figures: also write that study as JSON to this path (the CI BENCH_sweep.json / BENCH_hostile.json artifacts; use with a single -fig)")
 	)
 	flag.Parse()
 
@@ -206,6 +208,33 @@ func main() {
 		r, err := eval.RunSweepScaling(eval.SweepScalingConfig{
 			Web:   webgraph.Config{Seed: *seed, TopicWeights: map[string]float64{*topic: *weight}},
 			Topic: *topic, Budget: *budget / 4,
+		})
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			if err := r.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	})
+
+	run("hostile", func() error {
+		// Hostile-web robustness: harvest per fetch attempt, naive vs the
+		// polite stack (pacing, backoff, breakers), as the servers get
+		// nastier — rate limits, outages, timeouts. The study sizes its own
+		// concentrated web (few servers, so per-host budgets actually bind);
+		// seed, topic, and budget pass through.
+		r, err := eval.RunHostile(eval.HostileConfig{
+			Seed: *seed, Topic: *topic, Budget: *budget / 4,
 		})
 		if err != nil {
 			return err

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"focus/internal/classifier"
@@ -44,17 +45,24 @@ type System struct {
 }
 
 // webFetcher adapts the synthetic web to the crawler's Fetcher interface,
-// mapping transient failures onto crawler.ErrTransient.
+// mapping transient failures onto crawler.ErrTransient and rate limits
+// onto crawler.RateLimitedError (preserving the retry-after hint).
 type webFetcher struct {
 	w *webgraph.Web
 }
 
-// Fetch implements crawler.Fetcher.
+// Fetch implements crawler.Fetcher. Both wrappings keep the webgraph
+// error in the chain (%w, not %v), so outcome accounting can still
+// classify by cause with errors.Is(err, webgraph.ErrTimeout) etc.
 func (f webFetcher) Fetch(url string) (*crawler.Fetch, error) {
 	res, err := f.w.Fetch(url)
 	if err != nil {
+		var rl *webgraph.RateLimitError
+		if errors.As(err, &rl) {
+			return nil, &crawler.RateLimitedError{RetryAfter: rl.RetryAfter, Err: err}
+		}
 		if webgraph.IsTransient(err) {
-			return nil, fmt.Errorf("%w: %v", crawler.ErrTransient, err)
+			return nil, fmt.Errorf("%w: %w", crawler.ErrTransient, err)
 		}
 		return nil, err
 	}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"testing"
+	"time"
 
 	"focus/internal/crawler"
 	"focus/internal/webgraph"
@@ -201,22 +203,121 @@ func TestFetcherAdapterTranslatesErrors(t *testing.T) {
 		t.Fatal("expected timeout")
 	}
 	// Must be recognizably transient for the crawler's retry logic.
-	if !isTransient(err) {
+	if !inChain(err, crawler.ErrTransient) {
 		t.Fatalf("timeout not marked transient: %v", err)
+	}
+	// The wrapping must preserve the fetcher's own chain too — the old
+	// "%w: %v" adapter flattened webgraph.ErrTimeout into text, so outcome
+	// accounting could not classify by cause.
+	if !inChain(err, webgraph.ErrTimeout) {
+		t.Fatalf("webgraph cause lost from chain: %v", err)
+	}
+	if !errors.Is(err, webgraph.ErrTimeout) {
+		t.Fatalf("errors.Is cannot see the webgraph cause: %v", err)
 	}
 }
 
-func isTransient(err error) bool {
-	type unwrapper interface{ Unwrap() error }
-	for e := err; e != nil; {
-		if e == crawler.ErrTransient {
-			return true
+func TestFetcherAdapterTranslatesRateLimit(t *testing.T) {
+	web, err := webgraph.Generate(webgraph.Config{
+		Seed: 25, NumPages: 500, TimeoutRate: webgraph.Off, DeadLinkRate: webgraph.Off,
+		ServerCapacity: 1, ServerWindow: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFetcher(web)
+	// Second fetch to the same host exceeds capacity 1.
+	u := web.Pages[0].URL
+	if _, err := f.Fetch(u); err != nil {
+		t.Fatalf("first fetch: %v", err)
+	}
+	var sameHost string
+	for _, p := range web.Pages[1:] {
+		if p.ServerID == web.Pages[0].ServerID {
+			sameHost = p.URL
+			break
 		}
-		u, ok := e.(unwrapper)
-		if !ok {
-			return false
+	}
+	if sameHost == "" {
+		t.Skip("no second page on the seed host")
+	}
+	_, err = f.Fetch(sameHost)
+	if !errors.Is(err, crawler.ErrRateLimited) {
+		t.Fatalf("expected crawler.ErrRateLimited, got %v", err)
+	}
+	var rle *crawler.RateLimitedError
+	if !errors.As(err, &rle) || rle.RetryAfter <= 0 {
+		t.Fatalf("retry-after hint lost: %v", err)
+	}
+	if !errors.Is(err, webgraph.ErrRateLimited) {
+		t.Fatalf("webgraph chain lost: %v", err)
+	}
+}
+
+func TestExplicitZeroTimeoutEndToEnd(t *testing.T) {
+	// TimeoutRate: Off must produce zero timeout errors through the whole
+	// stack — web counters, adapter, and crawl result breakdown agree.
+	web, err := webgraph.Generate(webgraph.Config{
+		Seed: 26, NumPages: 3000, TimeoutRate: webgraph.Off,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystemOnWeb(web, Config{
+		GoodTopics: []string{"cycling"},
+		Crawl:      crawler.Config{Workers: 4, MaxFetches: 400},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SeedTopic("cycling", 8); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visited == 0 {
+		t.Fatal("crawl visited nothing")
+	}
+	if web.Timeouts() != 0 {
+		t.Fatalf("web recorded %d timeouts with TimeoutRate Off", web.Timeouts())
+	}
+	if res.TimeoutFailures != 0 {
+		t.Fatalf("crawl recorded %d timeout failures with TimeoutRate Off", res.TimeoutFailures)
+	}
+	if res.Retries != 0 {
+		t.Fatalf("retries = %d on a timeout-free web", res.Retries)
+	}
+	// Dead links still exist (DeadLinkRate defaulted): the breakdown must
+	// attribute every failure to not-found.
+	if res.Failed != res.NotFoundFailures {
+		t.Fatalf("failed=%d notfound=%d", res.Failed, res.NotFoundFailures)
+	}
+	if res.Dead > 0 && res.DeadByCause[crawler.CauseNotFound] != res.Dead {
+		t.Fatalf("DeadByCause = %v, dead = %d", res.DeadByCause, res.Dead)
+	}
+}
+
+// inChain hand-walks err's wrap tree (both single and multi unwrapping)
+// looking for target — deliberately not errors.Is, so a broken Is/Unwrap
+// implementation cannot hide a flattened chain.
+func inChain(err, target error) bool {
+	if err == nil {
+		return false
+	}
+	if err == target {
+		return true
+	}
+	switch u := err.(type) {
+	case interface{ Unwrap() error }:
+		return inChain(u.Unwrap(), target)
+	case interface{ Unwrap() []error }:
+		for _, e := range u.Unwrap() {
+			if inChain(e, target) {
+				return true
+			}
 		}
-		e = u.Unwrap()
 	}
 	return false
 }

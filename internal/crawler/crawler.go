@@ -30,6 +30,11 @@ const (
 	ModeUnfocused
 )
 
+// NoRetries is the explicit-zero sentinel for Config.MaxRetries, whose
+// zero value means "use the default of 3": any negative value disables
+// retries, so the first transient failure marks the row dead.
+const NoRetries = -1
+
 // Config tunes a crawl.
 type Config struct {
 	// Workers is the number of concurrent fetch threads (default 8; the
@@ -54,8 +59,36 @@ type Config struct {
 	MaxVisited int64
 	// Mode selects soft focus, hard focus, or the unfocused baseline.
 	Mode Mode
-	// MaxRetries is the per-URL transient failure budget (default 3).
+	// MaxRetries is the per-URL transient failure budget (default 3;
+	// negative — see NoRetries — disables retries, so the first transient
+	// failure kills the row).
 	MaxRetries int32
+	// RetryBackoff enables exponential backoff for retries: a transiently
+	// failed row re-enters the frontier with a not-before eligibility time
+	// of RetryBackoff·2^(tries-1) plus deterministic jitter, and checkout
+	// skips it until then. 0 disables (immediate requeue, the
+	// pre-politeness behavior).
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the pre-jitter backoff delay (default
+	// 32×RetryBackoff).
+	RetryBackoffMax time.Duration
+	// HostMaxInflight caps concurrent fetches per server id: checkout
+	// skips rows whose host already has that many fetches in flight, so a
+	// worker picks a different host's page instead of blocking. 0 disables.
+	HostMaxInflight int
+	// HostDelay is the minimum delay between fetch starts against one
+	// server id, enforced at checkout (token-bucket politeness).
+	// 0 disables.
+	HostDelay time.Duration
+	// BreakerAfter opens a per-host circuit breaker after this many
+	// consecutive failures: the host's rows stay queued — skipped at
+	// checkout, not burned against MaxFetches — until BreakerCooldown
+	// passes, then a single half-open probe decides whether to close the
+	// breaker or re-open it. 0 disables.
+	BreakerAfter int
+	// BreakerCooldown is the open-breaker cooling period before the
+	// half-open probe (default 50ms when BreakerAfter is set).
+	BreakerCooldown time.Duration
 	// DistillEvery runs the distiller after every k page visits
 	// (0 disables distillation).
 	DistillEvery int64
@@ -116,8 +149,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxFetches == 0 {
 		c.MaxFetches = 1000
 	}
+	// Zero keeps the default; negative (NoRetries) means an explicit
+	// zero — before the clamp, "no retries" was inexpressible.
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 3
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff > 0 && c.RetryBackoffMax == 0 {
+		c.RetryBackoffMax = 32 * c.RetryBackoff
+	}
+	if c.BreakerAfter > 0 && c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 50 * time.Millisecond
 	}
 	if c.HubNeighborBoost == 0 {
 		c.HubNeighborBoost = 0.75
@@ -159,6 +202,20 @@ type Result struct {
 	// (inside the barrier in barrier mode, on the background goroutine in
 	// concurrent mode).
 	DistillCompute time.Duration
+
+	// Failure breakdown. Failed counts failed fetch *attempts*; the three
+	// cause counters partition it, Retries says how many of those attempts
+	// re-entered the frontier (so Failed no longer conflates three retries
+	// of one page with three dead pages), and DeadByCause is the
+	// dead-letter record of why each Dead row died.
+	TimeoutFailures     int64
+	NotFoundFailures    int64
+	RateLimitedFailures int64
+	Retries             int64
+	// BreakerTrips counts closed→open and half-open→open transitions of
+	// the per-host circuit breakers.
+	BreakerTrips int64
+	DeadByCause  map[DeadCause]int64
 }
 
 // Crawler owns the crawl state. The CRAWL relation is partitioned by host
@@ -268,6 +325,21 @@ type Crawler struct {
 	inflight atomic.Int64
 	stop     atomic.Bool
 
+	// politeOn caches "any politeness/backoff feature is enabled": the
+	// checkout and failure paths branch on it, and with it false every
+	// new code path is skipped, keeping the pre-politeness behavior (and
+	// the goldens pinned to it) bit-identical. See politeness.go.
+	politeOn bool
+
+	// Failure-breakdown counters for Result (see politeness.go for the
+	// dead-cause enum).
+	timeoutFails  atomic.Int64
+	notFoundFails atomic.Int64
+	limitedFails  atomic.Int64
+	retries       atomic.Int64
+	breakerTrips  atomic.Int64
+	deadCause     [dcCount]atomic.Int64
+
 	// checkoutHook, when set before Run, observes every frontier checkout
 	// (shard, row at checkout time) under the shard lock. Test-only.
 	checkoutHook func(*shard, relstore.Tuple)
@@ -285,6 +357,8 @@ func New(db *relstore.DB, model *classifier.Model, fetcher Fetcher, cfg Config) 
 		pendingFwd:  make(map[int64]float64),
 		distillKick: make(chan struct{}, 1),
 	}
+	c.politeOn = c.cfg.HostMaxInflight > 0 || c.cfg.HostDelay > 0 ||
+		c.cfg.BreakerAfter > 0 || c.cfg.RetryBackoff > 0
 	if c.cfg.Mode == ModeUnfocused {
 		c.policy = FIFO()
 	}
@@ -550,14 +624,27 @@ func (c *Crawler) Run() (Result, error) {
 	distills := c.distills
 	c.mu.Unlock()
 	res := Result{
-		Visited:        c.visited.Load(),
-		Fetches:        c.fetches.Load(),
-		Failed:         c.failed.Load(),
-		Dead:           c.dead.Load(),
-		Distills:       distills,
-		Elapsed:        time.Since(start),
-		DistillStall:   time.Duration(c.stallNS.Load()),
-		DistillCompute: time.Duration(c.computeNS.Load()),
+		Visited:             c.visited.Load(),
+		Fetches:             c.fetches.Load(),
+		Failed:              c.failed.Load(),
+		Dead:                c.dead.Load(),
+		Distills:            distills,
+		Elapsed:             time.Since(start),
+		DistillStall:        time.Duration(c.stallNS.Load()),
+		DistillCompute:      time.Duration(c.computeNS.Load()),
+		TimeoutFailures:     c.timeoutFails.Load(),
+		NotFoundFailures:    c.notFoundFails.Load(),
+		RateLimitedFailures: c.limitedFails.Load(),
+		Retries:             c.retries.Load(),
+		BreakerTrips:        c.breakerTrips.Load(),
+	}
+	for i := range c.deadCause {
+		if n := c.deadCause[i].Load(); n > 0 {
+			if res.DeadByCause == nil {
+				res.DeadByCause = make(map[DeadCause]int64)
+			}
+			res.DeadByCause[deadCauseName[i]] = n
+		}
 	}
 	res.Stagnated = c.frontierEmpty() &&
 		res.Fetches < c.cfg.MaxFetches &&
@@ -590,24 +677,42 @@ func (c *Crawler) worker(w int) error {
 		if c.stop.Load() || c.budgetSpent() {
 			return nil
 		}
-		sh, rid, row, ok, err := c.checkout(home)
+		sh, rid, row, ok, wake, err := c.checkout(home)
 		if err != nil {
 			return err
 		}
 		if !ok {
-			// Every frontier shard is empty: if no fetch is in flight, the
-			// crawl has stagnated; otherwise wait for in-flight pages to
-			// add links. (checkout raised inflight before decrementing the
-			// frontier counter, so a popped-but-not-yet-fetched row can
-			// never be mistaken for stagnation.)
-			if c.inflight.Load() == 0 {
+			// No checkable row anywhere. Three cases: (1) rows exist but
+			// are not yet eligible (backing off, host paced, breaker
+			// cooling) — wake is their earliest eligibility time, so wait
+			// for it (capped, since new eligible work can appear sooner);
+			// (2) every shard is truly empty but fetches are in flight —
+			// wait for them to add links (checkout raised inflight before
+			// decrementing the frontier counter, so a popped-but-not-yet-
+			// fetched row can never be mistaken for stagnation); (3) empty,
+			// nothing in flight, nothing waiting: the crawl has stagnated.
+			// A host at its in-flight cap implies case (2): its fetch is
+			// still counted in inflight.
+			if c.inflight.Load() == 0 && wake.IsZero() {
 				return nil
 			}
-			time.Sleep(200 * time.Microsecond)
+			d := 200 * time.Microsecond
+			if !wake.IsZero() {
+				if until := time.Until(wake); until > d {
+					d = until
+				}
+				if d > 2*time.Millisecond {
+					d = 2 * time.Millisecond
+				}
+			}
+			time.Sleep(d)
 			continue
 		}
 		c.fetches.Add(1)
 		res, ferr := c.fetcher.Fetch(row[CURL].S)
+		if c.politeOn {
+			c.hostFetchDone(sh, SIDOf(row[CURL].S), ferr)
+		}
 		if c.classifyCh != nil && ferr == nil {
 			// Batched pipeline: tokenize here (it needs no shared state)
 			// and hand the page to the classify stage, which completes the
@@ -643,7 +748,22 @@ func (c *Crawler) worker(w int) error {
 // be a step stale under concurrency, so a losing race retries the
 // selection and finally falls back to probing every shard from the
 // worker's home offset.
-func (c *Crawler) checkout(home int) (*shard, relstore.RID, relstore.Tuple, bool, error) {
+//
+// With politeness on, each shard pop goes through checkoutPolite, which
+// skips ineligible rows; the returned wake time is the earliest moment any
+// skipped row becomes eligible (zero when nothing is waiting on the
+// clock), so an empty-handed caller can wait honestly instead of declaring
+// stagnation.
+func (c *Crawler) checkout(home int) (*shard, relstore.RID, relstore.Tuple, bool, time.Time, error) {
+	var wake time.Time
+	pop := func(sh *shard) (relstore.RID, relstore.Tuple, bool, error) {
+		if !c.politeOn {
+			return sh.checkout(c.checkoutHook, &c.inflight)
+		}
+		rid, row, ok, w, err := sh.checkoutPolite(c, c.checkoutHook, &c.inflight)
+		noteWake(&wake, w)
+		return rid, row, ok, err
+	}
 	for attempt := 0; attempt < 2; attempt++ {
 		var best *shard
 		var bestKey []byte
@@ -655,9 +775,9 @@ func (c *Crawler) checkout(home int) (*shard, relstore.RID, relstore.Tuple, bool
 		if best == nil {
 			break
 		}
-		rid, row, ok, err := best.checkout(c.checkoutHook, &c.inflight)
+		rid, row, ok, err := pop(best)
 		if err != nil || ok {
-			return best, rid, row, ok, err
+			return best, rid, row, ok, wake, err
 		}
 	}
 	n := len(c.shards)
@@ -666,12 +786,12 @@ func (c *Crawler) checkout(home int) (*shard, relstore.RID, relstore.Tuple, bool
 		if sh.frontierN.Load() == 0 {
 			continue // cheap skip; insertions recheck
 		}
-		rid, row, ok, err := sh.checkout(c.checkoutHook, &c.inflight)
+		rid, row, ok, err := pop(sh)
 		if err != nil || ok {
-			return sh, rid, row, ok, err
+			return sh, rid, row, ok, wake, err
 		}
 	}
-	return nil, relstore.RID{}, nil, false, nil
+	return nil, relstore.RID{}, nil, false, wake, nil
 }
 
 // process classifies a fetched page, persists it, and expands the frontier.
@@ -681,21 +801,42 @@ func (c *Crawler) process(sh *shard, rid relstore.RID, row relstore.Tuple, res *
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
 		c.failed.Add(1)
-		if errors.Is(ferr, ErrTransient) {
-			tries := int32(row[CTries].Int()) + 1
+		var rle *RateLimitedError
+		limited := errors.As(ferr, &rle)
+		retryable := limited || errors.Is(ferr, ErrTransient)
+		switch {
+		case limited:
+			c.limitedFails.Add(1)
+		case retryable:
+			c.timeoutFails.Add(1)
+		default:
+			c.notFoundFails.Add(1)
+		}
+		oid := row[COID].Int()
+		var tries int32
+		if retryable {
+			tries = int32(row[CTries].Int()) + 1
 			row[CTries] = relstore.I32(tries)
 			// Lazily refresh the server-load estimate while we have the row.
 			row[CLoad] = relstore.I32(sh.serverSeen[SIDOf(row[CURL].S)])
-			if tries >= c.cfg.MaxRetries {
-				c.dead.Add(1)
-				row[CStatus] = relstore.I32(StatusDead)
-			} else {
-				row[CStatus] = relstore.I32(StatusFrontier)
-				sh.frontierN.Add(1)
-			}
-		} else {
+		}
+		if !retryable || tries >= c.cfg.MaxRetries {
 			c.dead.Add(1)
+			c.deadCause[c.deadCauseLocked(sh, row, retryable, limited)].Add(1)
 			row[CStatus] = relstore.I32(StatusDead)
+			delete(sh.notBefore, oid)
+		} else {
+			row[CStatus] = relstore.I32(StatusFrontier)
+			c.retries.Add(1)
+			if c.politeOn {
+				// The row re-enters the frontier but checkout must not
+				// touch it before its backoff (or the server's retry-after
+				// hint) has elapsed.
+				if d := c.retryDelay(oid, tries, rle); d > 0 {
+					sh.notBefore[oid] = time.Now().Add(d)
+				}
+			}
+			sh.frontierN.Add(1)
 		}
 		if err := sh.crawl.Update(rid, row); err != nil {
 			return err

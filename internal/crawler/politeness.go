@@ -1,0 +1,281 @@
+package crawler
+
+// The politeness layer: per-host token-bucket pacing, retry backoff with
+// not-before eligibility, and per-host circuit breakers. Everything here
+// hangs off the frontier shards — a host maps to exactly one shard
+// (shardFor), so a server's pacing and breaker state live in its home
+// shard under the shard mutex, and the lock tower is unchanged: no new
+// lock is introduced and no politeness decision ever takes a second lock.
+// All features are opt-in (Crawler.politeOn); with them off, checkout
+// takes the pre-politeness fast path untouched, which is what keeps the
+// golden crawls bit-identical.
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"focus/internal/relstore"
+)
+
+// DeadCause classifies why a CRAWL row went to StatusDead — the crawl's
+// dead-letter outcome, surfaced through Result.DeadByCause.
+type DeadCause string
+
+const (
+	// CauseNotFound: the fetch failed permanently (404 / dead link).
+	CauseNotFound DeadCause = "not-found"
+	// CauseTimeoutBudget: transient timeouts exhausted the retry budget.
+	CauseTimeoutBudget DeadCause = "timeout-budget"
+	// CauseRateLimited: the last failure was a 429 and the retry budget
+	// is gone.
+	CauseRateLimited DeadCause = "rate-limited-exhausted"
+	// CauseBreaker: the row died while its host's circuit breaker was
+	// open — the host was failing consistently, not just this row.
+	CauseBreaker DeadCause = "breaker"
+)
+
+// Dense indices for the crawler's cause counters.
+const (
+	dcNotFound = iota
+	dcTimeoutBudget
+	dcRateLimited
+	dcBreaker
+	dcCount
+)
+
+var deadCauseName = [dcCount]DeadCause{
+	CauseNotFound, CauseTimeoutBudget, CauseRateLimited, CauseBreaker,
+}
+
+// hostState is one server's politeness state: the token bucket (in-flight
+// count plus pacing clock) and the circuit breaker.
+type hostState struct {
+	inflight  int
+	nextFetch time.Time // earliest next checkout under HostDelay pacing
+	fails     int       // consecutive failed fetches (timeouts, 429s)
+	breaker   int
+	probing   bool // half-open probe checked out, outcome pending
+	openUntil time.Time
+}
+
+const (
+	bkClosed = iota
+	bkOpen
+	bkHalfOpen
+)
+
+// noteWake keeps the earliest non-zero wake time.
+func noteWake(dst *time.Time, t time.Time) {
+	if !t.IsZero() && (dst.IsZero() || t.Before(*dst)) {
+		*dst = t
+	}
+}
+
+// checkoutPolite is checkout's politeness-aware twin: it walks the
+// frontier index in policy order and pops the first *eligible* row,
+// skipping rows still backing off, hosts at their in-flight cap or inside
+// their inter-fetch delay, and hosts behind an open breaker. Skipped rows
+// stay in the frontier at full priority. The returned wake time is the
+// earliest moment a skipped row becomes eligible by clock (zero when
+// nothing is waiting on the clock — blocks that clear through other
+// events, like a host slot freeing, always coincide with a fetch in
+// flight, which the worker already waits on).
+func (sh *shard) checkoutPolite(c *Crawler, hook func(*shard, relstore.Tuple), inflight *atomic.Int64) (relstore.RID, relstore.Tuple, bool, time.Time, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	now := time.Now()
+	prefix := relstore.EncodeKey(relstore.I32(StatusFrontier))
+	var (
+		rid                relstore.RID
+		row                relstore.Tuple
+		found              bool
+		wake               time.Time
+		firstSkipped, next *[]byte
+	)
+	err := sh.frontier.ScanPrefix(prefix, func(k []byte, r relstore.RID) (bool, error) {
+		if found {
+			// The key right after the popped row: head hint when nothing
+			// better was skipped.
+			kk := append([]byte(nil), k...)
+			next = &kk
+			return true, nil
+		}
+		t, err := sh.crawl.Get(r)
+		if err != nil {
+			return true, err
+		}
+		ok, w := c.admitLocked(sh, t, now)
+		noteWake(&wake, w)
+		if !ok {
+			if firstSkipped == nil {
+				kk := append([]byte(nil), k...)
+				firstSkipped = &kk
+			}
+			return false, nil
+		}
+		rid, row, found = r, t, true
+		return false, nil
+	})
+	if err != nil || !found {
+		return relstore.RID{}, nil, false, wake, err
+	}
+	if hook != nil {
+		hook(sh, row.Clone())
+	}
+	row[CStatus] = relstore.I32(StatusInflight)
+	if err := sh.crawl.Update(rid, row); err != nil {
+		return relstore.RID{}, nil, false, wake, err
+	}
+	inflight.Add(1)
+	sh.frontierN.Add(-1)
+	// Skipped rows sort before the popped one, so the best remaining
+	// frontier key is the first skip when there was one.
+	if firstSkipped != nil {
+		sh.head.Store(firstSkipped)
+	} else {
+		sh.head.Store(next)
+	}
+	c.acquireHostLocked(sh, SIDOf(row[CURL].S), now)
+	delete(sh.notBefore, row[COID].Int())
+	return rid, row, true, wake, nil
+}
+
+// admitLocked decides whether a frontier row may be checked out now.
+// sh.mu must be held. On an open breaker whose cooldown has passed, the
+// breaker moves to half-open and the row is admitted as its probe.
+func (c *Crawler) admitLocked(sh *shard, row relstore.Tuple, now time.Time) (bool, time.Time) {
+	if nb, ok := sh.notBefore[row[COID].Int()]; ok && now.Before(nb) {
+		return false, nb
+	}
+	hs := sh.hosts[SIDOf(row[CURL].S)]
+	if hs == nil {
+		return true, time.Time{}
+	}
+	if c.cfg.BreakerAfter > 0 {
+		switch hs.breaker {
+		case bkOpen:
+			if now.Before(hs.openUntil) {
+				return false, hs.openUntil
+			}
+			hs.breaker = bkHalfOpen
+			hs.probing = false
+		case bkHalfOpen:
+			if hs.probing {
+				return false, time.Time{}
+			}
+		}
+	}
+	if c.cfg.HostMaxInflight > 0 && hs.inflight >= c.cfg.HostMaxInflight {
+		return false, time.Time{}
+	}
+	if c.cfg.HostDelay > 0 && now.Before(hs.nextFetch) {
+		return false, hs.nextFetch
+	}
+	return true, time.Time{}
+}
+
+// acquireHostLocked charges a checkout to the row's host: one in-flight
+// slot, the pacing clock, and — on a half-open breaker — the probe flag,
+// so only one probe flies per cooldown. sh.mu must be held.
+func (c *Crawler) acquireHostLocked(sh *shard, sid int32, now time.Time) {
+	hs := sh.hosts[sid]
+	if hs == nil {
+		hs = &hostState{}
+		sh.hosts[sid] = hs
+	}
+	hs.inflight++
+	if c.cfg.HostDelay > 0 {
+		hs.nextFetch = now.Add(c.cfg.HostDelay)
+	}
+	if hs.breaker == bkHalfOpen {
+		hs.probing = true
+	}
+}
+
+// hostFetchDone releases the fetch's host slot and advances the host's
+// breaker with the outcome. A permanent not-found counts as the server
+// answering — it resets the failure streak; timeouts and 429s count
+// against it. Called by the worker right after the fetch returns, before
+// the row's own failure handling, so a final failure sees the breaker
+// state its own outcome produced.
+func (c *Crawler) hostFetchDone(sh *shard, sid int32, ferr error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	hs := sh.hosts[sid]
+	if hs == nil {
+		hs = &hostState{}
+		sh.hosts[sid] = hs
+	}
+	if hs.inflight > 0 {
+		hs.inflight--
+	}
+	failed := ferr != nil &&
+		(errors.Is(ferr, ErrTransient) || errors.Is(ferr, ErrRateLimited))
+	if !failed {
+		hs.fails = 0
+		if hs.breaker != bkClosed {
+			hs.breaker = bkClosed
+			hs.probing = false
+		}
+		return
+	}
+	hs.fails++
+	if c.cfg.BreakerAfter <= 0 {
+		return
+	}
+	if hs.breaker == bkHalfOpen ||
+		(hs.breaker == bkClosed && hs.fails >= c.cfg.BreakerAfter) {
+		hs.breaker = bkOpen
+		hs.probing = false
+		hs.openUntil = time.Now().Add(c.cfg.BreakerCooldown)
+		c.breakerTrips.Add(1)
+	}
+}
+
+// retryDelay computes how long a transiently failed row waits before
+// checkout may touch it again: the server's retry-after hint when the
+// failure carried one, else exponential backoff with deterministic jitter
+// (hashed from the oid and the attempt number, so a rerun of the same
+// crawl draws the same schedule).
+func (c *Crawler) retryDelay(oid int64, tries int32, rle *RateLimitedError) time.Duration {
+	if rle != nil && rle.RetryAfter > 0 {
+		return rle.RetryAfter
+	}
+	if c.cfg.RetryBackoff <= 0 {
+		return 0
+	}
+	d := c.cfg.RetryBackoff
+	for i := int32(1); i < tries && d < c.cfg.RetryBackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.RetryBackoffMax {
+		d = c.cfg.RetryBackoffMax
+	}
+	// Jitter in [1.0, 1.5)×d, splitmix-style.
+	h := uint64(oid) + uint64(tries)*0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	frac := float64(h>>40) / float64(uint64(1)<<24)
+	return d + time.Duration(float64(d)/2*frac)
+}
+
+// deadCauseLocked classifies a dying row for the dead-letter record.
+// sh.mu must be held.
+func (c *Crawler) deadCauseLocked(sh *shard, row relstore.Tuple, retryable, limited bool) int {
+	if !retryable {
+		return dcNotFound
+	}
+	if c.cfg.BreakerAfter > 0 {
+		if hs := sh.hosts[SIDOf(row[CURL].S)]; hs != nil && hs.breaker == bkOpen {
+			return dcBreaker
+		}
+	}
+	if limited {
+		return dcRateLimited
+	}
+	return dcTimeoutBudget
+}

@@ -11,7 +11,9 @@ package crawler
 
 import (
 	"errors"
+	"fmt"
 	"strings"
+	"time"
 
 	"focus/internal/linkgraph"
 	"focus/internal/relstore"
@@ -35,6 +37,31 @@ type Fetcher interface {
 // wrap their transient errors with it; anything else is treated as
 // permanent (dead link).
 var ErrTransient = errors.New("crawler: transient fetch failure")
+
+// ErrRateLimited marks 429-style fetch failures: the host refused the
+// fetch and (usually) hinted when to come back. Retryable like
+// ErrTransient, but accounted separately — politeness-aware crawls honor
+// the retry-after hint and the breaker counts it as a host failure.
+var ErrRateLimited = errors.New("crawler: rate limited")
+
+// RateLimitedError carries a rate-limited fetch's retry-after hint.
+// errors.Is(err, ErrRateLimited) matches it; Unwrap preserves the
+// fetcher's own error chain.
+type RateLimitedError struct {
+	RetryAfter time.Duration
+	Err        error
+}
+
+func (e *RateLimitedError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("%v: retry after %v", e.Err, e.RetryAfter)
+	}
+	return fmt.Sprintf("crawler: rate limited: retry after %v", e.RetryAfter)
+}
+
+func (e *RateLimitedError) Unwrap() error { return e.Err }
+
+func (e *RateLimitedError) Is(target error) bool { return target == ErrRateLimited }
 
 // CRAWL column positions.
 const (

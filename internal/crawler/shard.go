@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"focus/internal/relstore"
 )
@@ -47,11 +48,24 @@ type shard struct {
 	// bounded staleness only affects which shard is chosen, never the
 	// within-shard order.
 	head atomic.Pointer[[]byte]
+
+	// Politeness state, guarded by mu and populated only when the
+	// crawler's politeness/backoff features are on (see politeness.go).
+	// A host maps to exactly one shard, so its token bucket and breaker
+	// need no lock of their own. hosts holds per-server pacing and
+	// breaker state; notBefore holds per-row retry eligibility times.
+	hosts     map[int32]*hostState
+	notBefore map[int64]time.Time
 }
 
 // newShard creates the shard's CRAWL partition table and indexes.
 func newShard(db *relstore.DB, id int, policy Policy) (*shard, error) {
-	sh := &shard{id: id, policy: policy, serverSeen: make(map[int32]int32)}
+	sh := &shard{
+		id: id, policy: policy,
+		serverSeen: make(map[int32]int32),
+		hosts:      make(map[int32]*hostState),
+		notBefore:  make(map[int64]time.Time),
+	}
 	var err error
 	if sh.crawl, err = db.CreateTable(fmt.Sprintf("CRAWL#%d", id), CrawlSchema()); err != nil {
 		return nil, err

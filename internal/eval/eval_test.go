@@ -248,3 +248,54 @@ func TestCrawlGraphDistancesSeedZero(t *testing.T) {
 	}
 	_ = web // distances over LINK are covered by TestRunDistanceShape
 }
+
+func TestRunHostilePoliteBeatsNaive(t *testing.T) {
+	// The headline acceptance number: at the default hostile level, the
+	// polite stack must buy at least 1.3x the naive crawler's harvest
+	// (ground-truth relevant pages per fetch attempt) out of the same
+	// budget. Observed gain is ~3x, so the floor has wide headroom.
+	if raceEnabled {
+		// The study measures real time; under the race detector's slowdown
+		// the crawl never exceeds a host's rate budget, so there is no
+		// hostility for politeness to win against (see race_on.go).
+		t.Skip("hostile-web timing study is not meaningful under -race")
+	}
+	r, err := RunHostile(HostileConfig{Seed: 61, Levels: []int{DefaultHostileLevel}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := r.PointAt(DefaultHostileLevel)
+	if !ok {
+		t.Fatalf("no point at level %d", DefaultHostileLevel)
+	}
+	t.Logf("naive: %+v", p.Naive)
+	t.Logf("polite: %+v", p.Polite)
+	if p.Naive.Visited == 0 || p.Polite.Visited == 0 {
+		t.Fatal("a crawl visited nothing")
+	}
+	// The hostility must actually engage: the naive crawler should be
+	// bleeding budget into 429s, and the polite one tripping breakers on
+	// dark hosts rather than hammering them.
+	if p.Naive.RateLimited == 0 {
+		t.Fatal("naive crawl never rate-limited; web not hostile enough to measure")
+	}
+	if p.Polite.BreakerTrips == 0 {
+		t.Fatal("polite crawl never tripped a breaker")
+	}
+	if p.PoliteGain < 1.3 {
+		t.Fatalf("polite harvest gain %.2fx below the 1.3x floor (naive %.3f, polite %.3f)",
+			p.PoliteGain, p.Naive.Harvest, p.Polite.Harvest)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "polite harvest gain") {
+		t.Fatal("render broken")
+	}
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"polite_gain\"") {
+		t.Fatal("json artifact broken")
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package eval
+
+// raceEnabled: see race_on.go.
+const raceEnabled = false

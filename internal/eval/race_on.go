@@ -1,0 +1,11 @@
+//go:build race
+
+package eval
+
+// raceEnabled reports whether the race detector is compiled in. The
+// hostile-web study's headline is a real-time measurement (rate-limit
+// windows, outage lengths, pacing delays); under the detector's ~5-10x
+// slowdown the crawl never pushes a host past its budget, so the naive
+// baseline has nothing to be naive about and the gain assertion is
+// meaningless rather than failing.
+const raceEnabled = true

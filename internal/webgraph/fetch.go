@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,8 +16,30 @@ var ErrNotFound = errors.New("webgraph: not found")
 // ErrTimeout is a transient fetch failure; the crawler may retry.
 var ErrTimeout = errors.New("webgraph: fetch timed out")
 
+// ErrRateLimited is the 429-style fetch failure: the target server's
+// capacity budget for the current window is spent. Matched with
+// errors.Is; the concrete error is a *RateLimitError carrying the
+// server's retry-after hint.
+var ErrRateLimited = errors.New("webgraph: rate limited")
+
+// RateLimitError is the concrete rate-limit failure.
+type RateLimitError struct {
+	Host string
+	// RetryAfter is the server's hint: time until its capacity window
+	// rolls over and fetches are accepted again.
+	RetryAfter time.Duration
+}
+
+func (e *RateLimitError) Error() string {
+	return fmt.Sprintf("webgraph: rate limited by %s (retry after %v)", e.Host, e.RetryAfter)
+}
+
+func (e *RateLimitError) Unwrap() error { return ErrRateLimited }
+
 // IsTransient reports whether a fetch error is worth retrying.
-func IsTransient(err error) bool { return errors.Is(err, ErrTimeout) }
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrRateLimited)
+}
 
 // FetchResult is what the crawler sees for one fetched page: its text
 // tokens and outgoing link URLs. Nothing else about the synthetic web leaks
@@ -32,23 +55,64 @@ type FetchResult struct {
 type fetchState struct {
 	mu       sync.Mutex
 	failRng  *rand.Rand
+	hosts    map[string]*hostFault
 	fetches  atomic.Int64
 	timeouts atomic.Int64
 	notFound atomic.Int64
+	limited  atomic.Int64
+	outages  atomic.Int64
+}
+
+// hostFault is one server's fault-injection state — the rolling rate-limit
+// window and the current outage — guarded by fetchState.mu.
+type hostFault struct {
+	winStart  time.Time
+	winUsed   int
+	darkUntil time.Time
 }
 
 func (s *fetchState) init(cfg Config) {
 	s.failRng = rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
+	s.hosts = make(map[string]*hostFault)
 }
 
 // Fetches returns the number of fetch attempts so far (including failures).
 func (w *Web) Fetches() int64 { return w.fetches.Load() }
 
-// ResetFetches zeroes the fetch counters (between experiments).
+// Timeouts returns the number of fetch attempts that transiently failed
+// (random timeouts plus fetches to a dark host).
+func (w *Web) Timeouts() int64 { return w.timeouts.Load() }
+
+// NotFounds returns the number of fetch attempts that hit a dead URL.
+func (w *Web) NotFounds() int64 { return w.notFound.Load() }
+
+// RateLimited returns the number of fetch attempts rejected 429-style.
+func (w *Web) RateLimited() int64 { return w.limited.Load() }
+
+// Outages returns the number of times a host went dark.
+func (w *Web) Outages() int64 { return w.outages.Load() }
+
+// ResetFetches zeroes the fetch counters and per-host fault state
+// (between experiments).
 func (w *Web) ResetFetches() {
 	w.fetches.Store(0)
 	w.timeouts.Store(0)
 	w.notFound.Store(0)
+	w.limited.Store(0)
+	w.outages.Store(0)
+	w.mu.Lock()
+	w.hosts = make(map[string]*hostFault)
+	w.mu.Unlock()
+}
+
+// hostOf extracts the server name from the synthetic web's URLs (real and
+// dead URLs both embed it).
+func hostOf(url string) string {
+	s := strings.TrimPrefix(url, "http://")
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return s
 }
 
 // Fetch simulates retrieving a URL over the network. It costs one fetch
@@ -57,17 +121,24 @@ func (w *Web) ResetFetches() {
 // less than half of it), may transiently fail (ErrTimeout), and returns
 // ErrNotFound for URLs that do not resolve to a page.
 //
-// Both random draws — latency jitter first, then the timeout roll, each
-// taken only when its feature is enabled — come from one critical section
-// on the shared failure RNG, in exactly that order: under a multi-worker
-// crawl the lock is on the fetch hot path, and taking it once instead of
-// twice halves its traffic without perturbing the RNG stream the golden
-// crawls are pinned to.
+// All random draws — latency jitter first, then the timeout roll, then the
+// per-host outage roll, each taken only when its feature is enabled — come
+// from one critical section on the shared failure RNG, in exactly that
+// order: under a multi-worker crawl the lock is on the fetch hot path, and
+// taking it once instead of several times cuts its traffic without
+// perturbing the RNG stream the golden crawls are pinned to (hostility
+// features draw nothing when disabled).
+//
+// When hostility is on, failure precedence per attempt is: dark host
+// (outage) > rate limit (*RateLimitError with a retry-after hint) > random
+// timeout. A dark host's attempts do not consume rate-limit capacity.
 func (w *Web) Fetch(url string) (*FetchResult, error) {
 	w.fetches.Add(1)
+	hostile := w.Cfg.ServerCapacity > 0 || w.Cfg.OutageRate > 0
 	var jit time.Duration
-	var timedOut bool
-	if w.Cfg.FetchLatency > 0 || w.Cfg.TimeoutRate > 0 {
+	var timedOut, dark bool
+	var limited *RateLimitError
+	if w.Cfg.FetchLatency > 0 || w.Cfg.TimeoutRate > 0 || hostile {
 		w.mu.Lock()
 		if w.Cfg.FetchLatency > 0 {
 			jit = time.Duration(w.failRng.Int63n(int64(w.Cfg.FetchLatency)))
@@ -75,10 +146,47 @@ func (w *Web) Fetch(url string) (*FetchResult, error) {
 		if w.Cfg.TimeoutRate > 0 {
 			timedOut = w.failRng.Float64() < w.Cfg.TimeoutRate
 		}
+		if hostile {
+			host := hostOf(url)
+			h := w.hosts[host]
+			if h == nil {
+				h = &hostFault{}
+				w.hosts[host] = h
+			}
+			now := time.Now()
+			if w.Cfg.OutageRate > 0 && !now.Before(h.darkUntil) &&
+				w.failRng.Float64() < w.Cfg.OutageRate {
+				h.darkUntil = now.Add(w.Cfg.OutageLength)
+				w.outages.Add(1)
+			}
+			switch {
+			case now.Before(h.darkUntil):
+				dark = true
+			case w.Cfg.ServerCapacity > 0:
+				if now.Sub(h.winStart) >= w.Cfg.ServerWindow {
+					h.winStart, h.winUsed = now, 0
+				}
+				h.winUsed++
+				if h.winUsed > w.Cfg.ServerCapacity {
+					limited = &RateLimitError{
+						Host:       host,
+						RetryAfter: h.winStart.Add(w.Cfg.ServerWindow).Sub(now),
+					}
+				}
+			}
+		}
 		w.mu.Unlock()
 	}
 	if w.Cfg.FetchLatency > 0 {
 		time.Sleep(w.Cfg.FetchLatency/2 + jit)
+	}
+	if dark {
+		w.timeouts.Add(1)
+		return nil, fmt.Errorf("%w: %s unreachable", ErrTimeout, hostOf(url))
+	}
+	if limited != nil {
+		w.limited.Add(1)
+		return nil, limited
 	}
 	if timedOut {
 		w.timeouts.Add(1)

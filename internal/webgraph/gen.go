@@ -10,8 +10,16 @@ import (
 	"focus/internal/taxonomy"
 )
 
+// Off is the explicit-zero sentinel for rate and probability knobs whose
+// zero value means "use the default" (TimeoutRate, DeadLinkRate,
+// ShortcutProb, …): any negative value is clamped to zero *after*
+// defaulting, so Off disables the feature instead of silently re-enabling
+// it at the default rate.
+const Off = -1
+
 // Config controls generation of a synthetic web. Zero values take the
-// documented defaults.
+// documented defaults; for float rate/probability fields a negative value
+// (see Off) means an explicit zero.
 type Config struct {
 	Seed int64
 	Tree *taxonomy.Tree // defaults to DefaultTree()
@@ -100,6 +108,23 @@ type Config struct {
 	// FetchLatency is the mean simulated network latency per fetch
 	// (default 0: experiments measure page counts, not seconds).
 	FetchLatency time.Duration
+
+	// ServerCapacity is a per-server fetch budget within ServerWindow:
+	// once a host has answered ServerCapacity fetches inside the current
+	// window, further fetches to it fail 429-style with a *RateLimitError
+	// (wrapping ErrRateLimited) whose RetryAfter hint is the time left in
+	// the window. 0 disables rate limiting (the default).
+	ServerCapacity int
+	// ServerWindow is the rate-limit accounting window (default 25ms when
+	// ServerCapacity is set).
+	ServerWindow time.Duration
+	// OutageRate is the per-fetch probability that the target host goes
+	// dark for OutageLength: while dark, every fetch to it times out.
+	// 0 disables outages (the default).
+	OutageRate float64
+	// OutageLength is how long a dark host stays unreachable (default
+	// 40ms when OutageRate is set).
+	OutageLength time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -111,9 +136,14 @@ func (c Config) withDefaults() Config {
 			*p = v
 		}
 	}
+	// Zero means default; negative (Off) means an explicit zero. Without
+	// the clamp, `TimeoutRate: 0` silently ran at the 1% default and a
+	// timeout-free web was inexpressible.
 	deff := func(p *float64, v float64) {
 		if *p == 0 {
 			*p = v
+		} else if *p < 0 {
+			*p = 0
 		}
 	}
 	def(&c.NumPages, 20000)
@@ -152,6 +182,17 @@ func (c Config) withDefaults() Config {
 	deff(&c.NavLinksMean, 2)
 	deff(&c.DeadLinkRate, 0.04)
 	deff(&c.TimeoutRate, 0.01)
+	// Hostility knobs default to off; their companions take shape only
+	// when the feature is enabled, so a zero-valued Config stays benign.
+	if c.OutageRate < 0 {
+		c.OutageRate = 0
+	}
+	if c.ServerCapacity > 0 && c.ServerWindow == 0 {
+		c.ServerWindow = 25 * time.Millisecond
+	}
+	if c.OutageRate > 0 && c.OutageLength == 0 {
+		c.OutageLength = 40 * time.Millisecond
+	}
 	return c
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"focus/internal/taxonomy"
 )
@@ -235,7 +236,9 @@ func TestFetchErrors(t *testing.T) {
 }
 
 func TestDeadOutlinksEmitted(t *testing.T) {
-	w, err := Generate(Config{Seed: 7, NumPages: 800, DeadLinkRate: 0.3, TimeoutRate: 0})
+	// TimeoutRate: Off, not 0 — zero means the 1% default, which used to
+	// make this "timeout-free" fetch loop pass only by seed luck.
+	w, err := Generate(Config{Seed: 7, NumPages: 800, DeadLinkRate: 0.3, TimeoutRate: Off})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,6 +256,145 @@ func TestDeadOutlinksEmitted(t *testing.T) {
 	}
 	if dead == 0 {
 		t.Fatal("no dead outlinks with rate 0.3")
+	}
+	if w.Timeouts() != 0 {
+		t.Fatalf("timeouts = %d on an Off-rate web", w.Timeouts())
+	}
+}
+
+func TestOffSentinelRespected(t *testing.T) {
+	w, err := Generate(Config{Seed: 11, NumPages: 600, TimeoutRate: Off, DeadLinkRate: Off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Cfg.TimeoutRate != 0 || w.Cfg.DeadLinkRate != 0 {
+		t.Fatalf("Off not clamped to zero: timeout=%v deadlink=%v",
+			w.Cfg.TimeoutRate, w.Cfg.DeadLinkRate)
+	}
+	for i := 0; i < 300; i++ {
+		res, err := w.Fetch(w.Pages[i].URL)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+		for _, u := range res.Outlinks {
+			if w.PageByURL(u) == nil {
+				t.Fatalf("dead outlink %q with DeadLinkRate Off", u)
+			}
+		}
+	}
+	if w.Timeouts() != 0 || w.NotFounds() != 0 {
+		t.Fatalf("failures on an Off-rate web: timeouts=%d notfound=%d",
+			w.Timeouts(), w.NotFounds())
+	}
+	// Zero still means default: the golden webs rely on that.
+	d, err := Generate(Config{Seed: 11, NumPages: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cfg.TimeoutRate != 0.01 || d.Cfg.DeadLinkRate != 0.04 {
+		t.Fatalf("implicit defaults changed: timeout=%v deadlink=%v",
+			d.Cfg.TimeoutRate, d.Cfg.DeadLinkRate)
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	w, err := Generate(Config{
+		Seed: 12, NumPages: 600, TimeoutRate: Off, DeadLinkRate: Off,
+		ServerCapacity: 3, ServerWindow: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick several pages on one server and hammer it past its capacity.
+	var urls []string
+	target := w.Pages[0].ServerID
+	for _, p := range w.Pages {
+		if p.ServerID == target {
+			urls = append(urls, p.URL)
+		}
+	}
+	if len(urls) < 5 {
+		t.Skipf("server %d has only %d pages", target, len(urls))
+	}
+	var limited int
+	for i, u := range urls[:5] {
+		_, err := w.Fetch(u)
+		if i < 3 {
+			if err != nil {
+				t.Fatalf("fetch %d within capacity failed: %v", i, err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrRateLimited) {
+			t.Fatalf("fetch %d over capacity: err = %v", i, err)
+		}
+		if !IsTransient(err) {
+			t.Fatal("rate-limited fetch not transient")
+		}
+		var rle *RateLimitError
+		if !errors.As(err, &rle) {
+			t.Fatalf("no RateLimitError in chain: %v", err)
+		}
+		if rle.RetryAfter <= 0 || rle.RetryAfter > time.Minute {
+			t.Fatalf("bad retry-after hint: %v", rle.RetryAfter)
+		}
+		limited++
+	}
+	if limited != 2 {
+		t.Fatalf("limited = %d, want 2", limited)
+	}
+	if w.RateLimited() != 2 {
+		t.Fatalf("RateLimited() = %d, want 2", w.RateLimited())
+	}
+	// A different server has its own budget.
+	for _, p := range w.Pages {
+		if p.ServerID != target {
+			if _, err := w.Fetch(p.URL); err != nil {
+				t.Fatalf("other server rate-limited: %v", err)
+			}
+			break
+		}
+	}
+	// ResetFetches clears the windows: the hot server accepts again.
+	w.ResetFetches()
+	if _, err := w.Fetch(urls[0]); err != nil {
+		t.Fatalf("fetch after reset failed: %v", err)
+	}
+}
+
+func TestHostOutage(t *testing.T) {
+	w, err := Generate(Config{
+		Seed: 13, NumPages: 600, TimeoutRate: Off, DeadLinkRate: Off,
+		OutageRate: 1, OutageLength: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := w.Pages[0].URL
+	// OutageRate 1: the first fetch trips the outage and times out.
+	if _, err := w.Fetch(u); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("fetch during outage: err = %v", err)
+	}
+	if _, err := w.Fetch(u); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("host recovered too early: err = %v", err)
+	}
+	if w.Outages() != 1 {
+		t.Fatalf("Outages() = %d, want 1 (dark host must not re-trip)", w.Outages())
+	}
+	if w.Timeouts() != 2 {
+		t.Fatalf("Timeouts() = %d, want 2", w.Timeouts())
+	}
+	// After the outage passes, the next roll (rate 1) trips a fresh one —
+	// recovery is only observable with the outage roll disabled, which
+	// OutageRate: 1 cannot express; what matters here is the window
+	// bounds dark time and counts one outage per burst.
+	time.Sleep(35 * time.Millisecond)
+	_, err = w.Fetch(u)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("expected fresh outage at rate 1, got %v", err)
+	}
+	if w.Outages() != 2 {
+		t.Fatalf("Outages() = %d, want 2 after window passed", w.Outages())
 	}
 }
 
