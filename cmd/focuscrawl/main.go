@@ -31,7 +31,7 @@ func main() {
 		dpar    = flag.Int("distillpar", 0, "distiller join partitions (0/1 = serial)")
 		barrier = flag.Bool("distillbarrier", false, "legacy stop-the-world distillation (workers stall for the whole HITS run)")
 		cbatch  = flag.Int("classifybatch", 0, "batched in-crawl classification: accumulate this many pages per bulk classify (<=1 = inline)")
-		cpar    = flag.Int("classifypar", 0, "classification batch partitions by did (0/1 = serial)")
+		cpar    = flag.Int("classifypar", 0, "classifier-stage workers; the batch queue is partitioned by did (0/1 = one stage)")
 		unswept = flag.Bool("unroutedsweep", false, "disable dst-routing of incoming-weight sweeps (probe every LINK stripe per visit; A/B measurement)")
 		polite  = flag.Bool("polite", false, "enable the politeness stack: per-host pacing, retry backoff, circuit breakers")
 		hostile = flag.Int("hostile", 0, "web hostility level (eval.HostileWeb): per-server rate limits, outages, extra timeouts; 0 = the plain web")

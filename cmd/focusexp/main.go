@@ -13,10 +13,13 @@
 // (distillation worker stall, barrier vs snapshot-and-go), classify
 // (the in-crawl classification batch sweep — Figure 8a's set-oriented
 // claim applied to the crawl hot path), sweep (incoming-weight sweep
-// cost by LINK stripe count, dst-routed vs probe-every-stripe), and
-// hostile (harvest under rate limits, outages, and timeouts, naive vs
-// the polite politeness/backoff/breaker stack); for sweep and hostile,
-// -json writes the study as a machine-readable artifact.
+// cost by LINK stripe count, dst-routed vs probe-every-stripe), hostile
+// (harvest under rate limits, outages, and timeouts, naive vs the polite
+// politeness/backoff/breaker stack), and cores (crawl throughput and
+// distill latency vs GOMAXPROCS on the doc-heavy workload — the multicore
+// payoff of the parallel classifier stage and partitioned HITS); for
+// sweep, hostile, and cores, -json writes the study as a machine-readable
+// artifact.
 package main
 
 import (
@@ -31,7 +34,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to run: 5, 6, 7, 8a, 8b, 8c, 8d, scale, stall, classify, sweep, hostile, all")
+		fig        = flag.String("fig", "all", "figure to run: 5, 6, 7, 8a, 8b, 8c, 8d, scale, stall, classify, sweep, hostile, cores, all")
 		seed       = flag.Int64("seed", 1999, "random seed")
 		pages      = flag.Int("pages", 30000, "synthetic web size for crawl experiments")
 		budget     = flag.Int64("budget", 4000, "fetch budget for crawl experiments")
@@ -41,9 +44,9 @@ func main() {
 		latency    = flag.Duration("latency", 50*time.Microsecond, "simulated per-page disk latency for figure 8")
 		stripes    = flag.Int("linkstripes", 0, "LINK store stripes for the scale figure (0 = one per worker)")
 		distillpar = flag.Int("distillpar", 2, "distiller join partitions for the stall figure")
-		cpar       = flag.Int("classifypar", 0, "classification batch partitions by did for the classify figure (0/1 = serial)")
+		cpar       = flag.Int("classifypar", 0, "classifier-stage workers (batch queue partitioned by did) for the classify figure (0/1 = one stage)")
 		cbatch     = flag.Int("classifybatch", 0, "classify figure: sweep {1, N} instead of the default batch sizes (0 = default sweep)")
-		jsonPath   = flag.String("json", "", "sweep/hostile figures: also write that study as JSON to this path (the CI BENCH_sweep.json / BENCH_hostile.json artifacts; use with a single -fig)")
+		jsonPath   = flag.String("json", "", "sweep/hostile/cores figures: also write that study as JSON to this path (the CI BENCH_sweep.json / BENCH_hostile.json / BENCH_cores.json artifacts; use with a single -fig)")
 	)
 	flag.Parse()
 
@@ -235,6 +238,35 @@ func main() {
 		// seed, topic, and budget pass through.
 		r, err := eval.RunHostile(eval.HostileConfig{
 			Seed: *seed, Topic: *topic, Budget: *budget / 4,
+		})
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			if err := r.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	})
+
+	run("cores", func() error {
+		// Multicore payoff: the same doc-heavy crawl (fixed worker,
+		// classifier-stage, and distill-partition counts) at GOMAXPROCS
+		// 1/2/4, measuring end-to-end pages/sec and post-crawl distill
+		// latency. The study sizes its own doc-heavy web; seed, topic, and
+		// budget pass through.
+		dense := eval.DocHeavyWeb(*seed, *pages/3)
+		dense.TopicWeights = map[string]float64{*topic: *weight}
+		r, err := eval.RunCoreScaling(eval.CoreScalingConfig{
+			Web: dense, Topic: *topic, Budget: *budget / 2,
 		})
 		if err != nil {
 			return err

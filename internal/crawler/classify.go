@@ -7,13 +7,21 @@ package crawler
 // relation — beats per-document probing by an order of magnitude. The
 // crawler's hot path earns that win here: fetch workers stop classifying
 // inline and instead tokenize and hand (oid, shard/rid, term vector,
-// outlinks) to a classify queue; a single classifier stage accumulates up
-// to ClassifyBatch documents, classifies the whole batch through
-// classifier.BulkClassifyStream (hash-partitioned by did across
-// ClassifyParallelism partitions), and then completes each visit exactly
+// outlinks) to a classify queue. The queue is hash-partitioned by did
+// (oid mod ClassifyParallelism, the DOCUMENT stripes' routing rule) across
+// that many stage workers; each worker accumulates its partition into
+// batches of up to ClassifyBatch documents, classifies each batch through
+// classifier.BulkClassifyStream, and then completes its own visits exactly
 // as the inline path does — same row update, harvest append, pendingFwd
 // entry, incoming-weight sweep, link expansion, and distill trigger, via
-// the shared Crawler.complete.
+// the shared Crawler.complete. Per-partition completion is what makes the
+// stage scale on real cores: batch boundaries and visit completion no
+// longer serialize behind one goroutine. Concurrent completers are sound
+// because complete() takes the same locks in the same order as concurrent
+// inline workers always have (stripe < shard < global < doc stripe), and
+// the partition rule keeps each did's DOCUMENT rows on a single stage
+// worker, so stripe-grouped bulk loads of different partitions never
+// interleave one document's rows.
 //
 // Flush rule: when the queue goes idle for ClassifyFlush with a partial
 // batch pending, the stage flushes it. This bounds pipeline latency and is
@@ -30,6 +38,7 @@ package crawler
 // work parked in the queue.
 
 import (
+	"fmt"
 	"time"
 
 	"focus/internal/classifier"
@@ -48,13 +57,16 @@ type classifyItem struct {
 	res *Fetch
 }
 
-// classifyLoop is the single classifier-stage goroutine: it accumulates
-// items into batches of ClassifyBatch, flushing early when the queue idles
-// for ClassifyFlush, and exits only when the queue is closed and drained —
-// Run's guarantee that no in-flight batch outlives the crawl. After a
-// failure it keeps draining (completing nothing, releasing inflight) so
-// workers blocked on the queue always unblock.
-func (c *Crawler) classifyLoop() {
+// classifyLoop is one classifier-stage worker: it accumulates its
+// partition's channel into batches of ClassifyBatch, flushing early when
+// the queue idles for ClassifyFlush, and exits only when the channel is
+// closed and drained — Run's guarantee that no in-flight batch outlives
+// the crawl. After a failure every stage keeps draining (completing
+// nothing, releasing inflight) so workers blocked on any queue always
+// unblock. The idle flush is per-partition, which preserves the deadlock-
+// freedom argument partition by partition: a parked visit's links are what
+// refill an empty frontier, so no partial batch may wait forever.
+func (c *Crawler) classifyLoop(ch <-chan classifyItem) {
 	batch := make([]classifyItem, 0, c.cfg.ClassifyBatch)
 	flush := func() {
 		if len(batch) == 0 {
@@ -76,7 +88,7 @@ func (c *Crawler) classifyLoop() {
 	}
 	for {
 		if len(batch) == 0 {
-			item, ok := <-c.classifyCh
+			item, ok := <-ch
 			if !ok {
 				return
 			}
@@ -89,7 +101,7 @@ func (c *Crawler) classifyLoop() {
 		}
 		idle.Reset(c.cfg.ClassifyFlush)
 		select {
-		case item, ok := <-c.classifyCh:
+		case item, ok := <-ch:
 			if !idle.Stop() {
 				<-idle.C
 			}
@@ -124,9 +136,10 @@ func (c *Crawler) flushBatch(batch []classifyItem) error {
 	for i, it := range batch {
 		docs[i] = classifier.BatchDoc{DID: it.oid, Vec: it.vec}
 	}
-	post, err := c.model.BulkClassifyStream(docs, classifier.BulkOptions{
-		Parallelism: c.cfg.ClassifyParallelism,
-	})
+	// Each stage worker classifies its batch serially: the fan-out across
+	// stage workers is the parallelism, and nesting BulkOptions.Parallelism
+	// inside an already-partitioned batch would only add goroutine churn.
+	post, err := c.model.BulkClassifyStream(docs, classifier.BulkOptions{Parallelism: 1})
 	if err == nil && !c.cfg.SkipDocuments {
 		err = c.insertDocBatch(docs)
 	}
@@ -137,7 +150,8 @@ func (c *Crawler) flushBatch(batch []classifyItem) error {
 		return err
 	}
 	var firstErr error
-	for _, it := range batch {
+	failedAt := -1
+	for i, it := range batch {
 		if firstErr != nil {
 			c.inflight.Add(-1)
 			continue
@@ -145,10 +159,75 @@ func (c *Crawler) flushBatch(batch []classifyItem) error {
 		p := post[it.oid]
 		rel := c.model.Relevance(p)
 		leaf := c.model.BestLeaf(p)
-		firstErr = c.complete(it.sh, it.rid, it.row, it.vec, it.res, rel, leaf, true)
+		if c.flushFault != nil {
+			firstErr = c.flushFault(it.oid)
+		}
+		if firstErr == nil {
+			firstErr = c.complete(it.sh, it.rid, it.row, it.vec, it.res, rel, leaf, true)
+		}
+		if firstErr != nil {
+			failedAt = i
+		}
 		c.inflight.Add(-1)
 	}
+	if firstErr != nil && !c.cfg.SkipDocuments {
+		// The batch's DOCUMENT rows were bulk-loaded up front, so the
+		// visits at and after the failure point have rows on disk without a
+		// completed visit — a state the inline path (which writes a page's
+		// rows only after its CRAWL row persists as visited) can never
+		// produce. Delete them so DOCUMENT never claims pages the crawl
+		// does not.
+		if derr := c.dropOrphanDocRows(batch[failedAt:]); derr != nil {
+			firstErr = fmt.Errorf("%w (orphaned DOCUMENT cleanup also failed: %v)", firstErr, derr)
+		}
+	}
 	return firstErr
+}
+
+// dropOrphanDocRows removes the DOCUMENT rows of batch items whose visit
+// never completed (the error path of flushBatch). items[0] is the failed
+// item itself: its complete() may have died after the CRAWL row persisted
+// as visited, in which case its rows stay — matching where the inline path
+// would have left them.
+func (c *Crawler) dropOrphanDocRows(items []classifyItem) error {
+	byStripe := make(map[*docStripe]map[int64]bool)
+	for i, it := range items {
+		if i == 0 {
+			it.sh.mu.Lock()
+			row, err := it.sh.crawl.Get(it.rid)
+			it.sh.mu.Unlock()
+			if err == nil && int32(row[CStatus].Int()) == StatusVisited {
+				continue
+			}
+		}
+		ds := c.docFor(it.oid)
+		if byStripe[ds] == nil {
+			byStripe[ds] = make(map[int64]bool)
+		}
+		byStripe[ds][it.oid] = true
+	}
+	for ds, dids := range byStripe {
+		ds.mu.Lock()
+		var rids []relstore.RID
+		err := ds.tab.Scan(func(rid relstore.RID, t relstore.Tuple) (bool, error) {
+			if dids[t[0].Int()] {
+				rids = append(rids, rid)
+			}
+			return false, nil
+		})
+		if err == nil {
+			for _, rid := range rids {
+				if err = ds.tab.Delete(rid); err != nil {
+					break
+				}
+			}
+		}
+		ds.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // insertDocBatch loads the batch's DOCUMENT rows set-orientedly: grouped

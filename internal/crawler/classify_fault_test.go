@@ -1,0 +1,81 @@
+package crawler
+
+import (
+	"focus/internal/relstore"
+
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestFlushBatchErrorLeavesNoOrphanDocRows pins the flushBatch error path:
+// the batch's DOCUMENT rows are bulk-loaded before any visit completes, so
+// a mid-batch completion failure used to leave rows on disk for visits
+// that never happened — a state the inline path cannot produce. After the
+// fix, every did present in DOCUMENT must belong to a visited CRAWL row.
+func TestFlushBatchErrorLeavesNoOrphanDocRows(t *testing.T) {
+	site := map[string]*Fetch{}
+	var seeds []string
+	for h := 0; h < 3; h++ {
+		host := fmt.Sprintf("http://h%d.test", h)
+		for i := 0; i < 6; i++ {
+			u := fmt.Sprintf("%s/p%d", host, i)
+			var out []string
+			if i+1 < 6 {
+				out = append(out, fmt.Sprintf("%s/p%d", host, i+1))
+			}
+			site[u] = page(u, "alpha", out...)
+		}
+		seeds = append(seeds, host+"/p0")
+	}
+	f := &stubFetcher{pages: site}
+	c, _ := newTestCrawler(t, f, Config{
+		Workers: 2, MaxFetches: 40, ClassifyBatch: 4,
+	})
+	boom := errors.New("injected completion failure")
+	completions := 0
+	c.flushFault = func(oid int64) error {
+		completions++
+		if completions == 3 {
+			return boom
+		}
+		return nil
+	}
+	if err := c.Seed(seeds); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Run()
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want injected failure", err)
+	}
+
+	// Invariant: DOCUMENT holds rows only for completed (visited) pages.
+	visited := map[int64]bool{}
+	snap, err := c.Crawl()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Scan(func(_ relstore.RID, tup relstore.Tuple) (bool, error) {
+		if int32(tup[CStatus].Int()) == StatusVisited {
+			visited[tup[COID].Int()] = true
+		}
+		return false, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) == 0 {
+		t.Fatal("no visits before the injected failure")
+	}
+	doc, err := c.Doc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Scan(func(_ relstore.RID, tup relstore.Tuple) (bool, error) {
+		if did := tup[0].Int(); !visited[did] {
+			return true, fmt.Errorf("orphaned DOCUMENT rows for unvisited did %d", did)
+		}
+		return false, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

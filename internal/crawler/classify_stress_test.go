@@ -65,7 +65,17 @@ func TestClassifyBatchCompletesVisits(t *testing.T) {
 //   - clean drain: Run returns with no in-flight batch — every DOCUMENT
 //     row of every visited page is present — and distillation's published
 //     epoch equals its snapshotted epoch.
+//
+// The parallel variant runs the same workload with four classifier-stage
+// workers, so visit completion itself races across partitions: concurrent
+// complete() calls exercise the whole lock tower under -race, and every
+// invariant above must still hold bit for bit.
 func TestClassifyBatchPipelineStress(t *testing.T) {
+	t.Run("serial-stage", func(t *testing.T) { classifyPipelineStress(t, 1) })
+	t.Run("parallel-stage", func(t *testing.T) { classifyPipelineStress(t, 4) })
+}
+
+func classifyPipelineStress(t *testing.T, classifyPar int) {
 	const nPages = 150
 	urls := make([]string, nPages)
 	for i := range urls {
@@ -94,12 +104,13 @@ func TestClassifyBatchPipelineStress(t *testing.T) {
 	}
 	f := &stubFetcher{pages: pages}
 	c, _ := newTestCrawler(t, f, Config{
-		Workers:       8,
-		MaxFetches:    1000,
-		ClassifyBatch: 16,
-		ClassifyFlush: 200 * time.Microsecond,
-		DistillEvery:  25,
-		Distill:       distiller.Config{Parallelism: 2},
+		Workers:             8,
+		MaxFetches:          1000,
+		ClassifyBatch:       16,
+		ClassifyFlush:       200 * time.Microsecond,
+		ClassifyParallelism: classifyPar,
+		DistillEvery:        25,
+		Distill:             distiller.Config{Parallelism: 2},
 	})
 	if err := c.Seed(urls[:4]); err != nil {
 		t.Fatal(err)

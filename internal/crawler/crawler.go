@@ -110,11 +110,12 @@ type Config struct {
 	HubNeighborBoost float64
 	// ClassifyBatch moves classification out of the fetch workers into a
 	// batched pipeline stage: workers tokenize fetched pages and hand them
-	// to a classify queue, and a single classifier stage accumulates up to
-	// ClassifyBatch documents before classifying them together with the
-	// set-oriented two-joins-per-node plan (§2.1.2, Figure 3) and
-	// completing each visit. <=1 (the default) keeps classification inline
-	// in the workers — the pre-batch path, bit-identical (golden-pinned).
+	// to a classify queue, and ClassifyParallelism classifier stage workers
+	// each accumulate up to ClassifyBatch documents before classifying them
+	// together with the set-oriented two-joins-per-node plan (§2.1.2,
+	// Figure 3) and completing each visit. <=1 (the default) keeps
+	// classification inline in the workers — the pre-batch path,
+	// bit-identical (golden-pinned).
 	ClassifyBatch int
 	// ClassifyFlush is how long the classify stage waits for the next
 	// fetched page before flushing a partial batch (default 1ms). The
@@ -122,9 +123,15 @@ type Config struct {
 	// deadlock waiting on a batch that will not fill: a flushed visit
 	// expands links, which is what refills an empty frontier.
 	ClassifyFlush time.Duration
-	// ClassifyParallelism hash-partitions each classification batch by did
-	// across this many concurrently classified partitions (default 1;
-	// see classifier.BulkOptions.Parallelism).
+	// ClassifyParallelism is the number of classifier stage workers
+	// (default 1). Queued pages are hash-partitioned by did (oid mod P,
+	// the same routing rule the DOCUMENT stripes use) across the stage
+	// workers; each worker batches its own partition, classifies it with
+	// the set-oriented plan, and completes its own visits concurrently
+	// through the shared completion tail — the lock tower (stripe < shard
+	// < global < doc stripe) already admits concurrent completers. <=1
+	// keeps the single-stage pipeline, bit-identical to the pre-partition
+	// path. Only meaningful with ClassifyBatch > 1.
 	ClassifyParallelism int
 	// SkipDocuments disables populating the DOCUMENT relation (saves space
 	// when the corpus will not be re-classified in bulk).
@@ -307,14 +314,15 @@ type Crawler struct {
 	distillErr  error
 
 	// Batched-classification pipeline state (Config.ClassifyBatch > 1).
-	// Workers send tokenized fetches into classifyCh (bounded, so a
-	// lagging classifier stage applies backpressure); the single
-	// classifyLoop goroutine accumulates batches, classifies them with the
-	// set-oriented plan, and completes each visit. An item keeps the
+	// Workers route tokenized fetches by did into one of the
+	// ClassifyParallelism stage channels (bounded, so a lagging classifier
+	// stage applies backpressure); each channel's classifyLoop goroutine
+	// accumulates its partition into batches, classifies them with the
+	// set-oriented plan, and completes its own visits. An item keeps the
 	// crawl's inflight counter raised from its checkout until its visit
 	// completes, so an empty frontier with queued items is never mistaken
 	// for stagnation. nil when classification is inline.
-	classifyCh  chan classifyItem
+	classifyChs []chan classifyItem
 	classifyMu  sync.Mutex
 	classifyErr error
 
@@ -343,6 +351,10 @@ type Crawler struct {
 	// checkoutHook, when set before Run, observes every frontier checkout
 	// (shard, row at checkout time) under the shard lock. Test-only.
 	checkoutHook func(*shard, relstore.Tuple)
+	// flushFault, when set before Run, injects a completion failure into
+	// the classifier stage just before the given oid's visit would
+	// complete (exercises flushBatch's error path). Test-only.
+	flushFault func(oid int64) error
 }
 
 // New creates a crawler over a fresh set of relations in db. The model must
@@ -445,9 +457,11 @@ func (c *Crawler) Tables() (distiller.Tables, error) {
 
 // Crawl materializes and returns a consistent snapshot of the full CRAWL
 // relation, merged across shards into a table named "CRAWL" (with an "oid"
-// index). Each call refreshes the snapshot — and abandons the previous
-// copy's pages, so this is for post-crawl analysis, not polling; rows are
-// copies, so mutating the returned table does not affect the live frontier.
+// index). Each call refreshes the snapshot: the previous copy's pages are
+// returned to the disk manager's free list and reused, so polling monitors
+// hold the allocated-page count flat — but any previously returned table
+// handle becomes invalid. Rows are copies, so mutating the returned table
+// does not affect the live frontier.
 func (c *Crawler) Crawl() (*relstore.Table, error) {
 	c.lockAll()
 	defer c.unlockAll()
@@ -457,7 +471,9 @@ func (c *Crawler) Crawl() (*relstore.Table, error) {
 // snapshotCrawlLocked rebuilds the merged CRAWL view table. The barrier
 // must be held, so the copy is a consistent cross-shard snapshot.
 func (c *Crawler) snapshotCrawlLocked() (*relstore.Table, error) {
-	c.db.DropTable("CRAWL")
+	if err := c.db.DropTable("CRAWL"); err != nil {
+		return nil, err
+	}
 	snap, err := c.db.CreateTable("CRAWL", CrawlSchema())
 	if err != nil {
 		return nil, err
@@ -484,8 +500,8 @@ func (c *Crawler) Links() *linkgraph.Store { return c.links }
 
 // Doc materializes and returns a merged snapshot of the striped DOCUMENT
 // relation as a table named "DOCUMENT". Like Crawl, each call refreshes the
-// snapshot (abandoning the previous copy's pages), so this is for
-// post-crawl analysis — bulk re-classification, tests — not polling.
+// snapshot, freeing the previous copy's pages for reuse — safe to poll,
+// but the previously returned table handle becomes invalid.
 func (c *Crawler) Doc() (*relstore.Table, error) {
 	c.mu.Lock() // catalog writes below
 	defer c.mu.Unlock()
@@ -497,7 +513,9 @@ func (c *Crawler) Doc() (*relstore.Table, error) {
 			c.docs[i].mu.RUnlock()
 		}
 	}()
-	c.db.DropTable("DOCUMENT")
+	if err := c.db.DropTable("DOCUMENT"); err != nil {
+		return nil, err
+	}
 	snap, err := c.db.CreateTable("DOCUMENT", classifier.DocSchema())
 	if err != nil {
 		return nil, err
@@ -527,7 +545,9 @@ func (c *Crawler) SetPolicy(p Policy) error {
 	c.lockAll()
 	defer c.unlockAll()
 	for _, sh := range c.shards {
-		sh.crawl.DropIndex("frontier")
+		if err := sh.crawl.DropIndex("frontier"); err != nil {
+			return err
+		}
 		ix, err := sh.crawl.AddIndex("frontier", p.Key)
 		if err != nil {
 			return err
@@ -572,12 +592,16 @@ func (c *Crawler) Run() (Result, error) {
 	}
 	var classifyWG sync.WaitGroup
 	if c.cfg.ClassifyBatch > 1 {
-		c.classifyCh = make(chan classifyItem, c.cfg.ClassifyBatch+c.cfg.Workers)
-		classifyWG.Add(1)
-		go func() {
-			defer classifyWG.Done()
-			c.classifyLoop()
-		}()
+		c.classifyChs = make([]chan classifyItem, c.cfg.ClassifyParallelism)
+		for i := range c.classifyChs {
+			ch := make(chan classifyItem, c.cfg.ClassifyBatch+c.cfg.Workers)
+			c.classifyChs[i] = ch
+			classifyWG.Add(1)
+			go func() {
+				defer classifyWG.Done()
+				c.classifyLoop(ch)
+			}()
+		}
 	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, c.cfg.Workers)
@@ -598,8 +622,10 @@ func (c *Crawler) Run() (Result, error) {
 	// epochs), then stop the distiller, which drains those epochs. Run
 	// returns with no in-flight batch, the last snapshot's scores
 	// published, and no background goroutine alive.
-	if c.classifyCh != nil {
-		close(c.classifyCh)
+	if c.classifyChs != nil {
+		for _, ch := range c.classifyChs {
+			close(ch)
+		}
 		classifyWG.Wait()
 	}
 	close(distStop)
@@ -713,17 +739,19 @@ func (c *Crawler) worker(w int) error {
 		if c.politeOn {
 			c.hostFetchDone(sh, SIDOf(row[CURL].S), ferr)
 		}
-		if c.classifyCh != nil && ferr == nil {
+		if c.classifyChs != nil && ferr == nil {
 			// Batched pipeline: tokenize here (it needs no shared state)
-			// and hand the page to the classify stage, which completes the
-			// visit — and decrements inflight — after classification. The
-			// send blocks when the queue is full; the stage always drains
-			// it, even after a failure, so workers never wedge. Only the
-			// fetch fields completion needs travel: dropping the token
-			// slice keeps a full queue from pinning every parked page's
-			// text.
-			c.classifyCh <- classifyItem{
-				sh: sh, rid: rid, row: row, oid: row[COID].Int(),
+			// and hand the page to its did-partition's classify stage,
+			// which completes the visit — and decrements inflight — after
+			// classification. The send blocks when the queue is full; the
+			// stage always drains it, even after a failure, so workers
+			// never wedge. Only the fetch fields completion needs travel:
+			// dropping the token slice keeps a full queue from pinning
+			// every parked page's text.
+			oid := row[COID].Int()
+			ch := c.classifyChs[int(uint64(oid)%uint64(len(c.classifyChs)))]
+			ch <- classifyItem{
+				sh: sh, rid: rid, row: row, oid: oid,
 				vec: textproc.VectorOfTokens(res.Tokens),
 				res: &Fetch{
 					URL: res.URL, Server: res.Server,

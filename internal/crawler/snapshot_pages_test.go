@@ -1,0 +1,64 @@
+package crawler
+
+import "testing"
+
+// TestRepeatedSnapshotsBoundPages pins the fix for the snapshot page leak:
+// Crawl() and Doc() rebuild their merged view tables through DropTable on
+// every call, and before the disk manager grew a free-page list each poll
+// leaked the previous copy's heap and index pages — O(|CRAWL|) pages per
+// query for a monitor that polls. After the first refresh the allocated
+// page count must stay exactly flat.
+func TestRepeatedSnapshotsBoundPages(t *testing.T) {
+	site := map[string]*Fetch{}
+	var seeds []string
+	for h := 0; h < 4; h++ {
+		for i := 0; i < 8; i++ {
+			u := pageURL(h, i)
+			var out []string
+			if i+1 < 8 {
+				out = append(out, pageURL(h, i+1))
+			}
+			site[u] = page(u, "alpha", out...)
+		}
+		seeds = append(seeds, pageURL(h, 0))
+	}
+	f := &stubFetcher{pages: site}
+	c, db := newTestCrawler(t, f, Config{Workers: 2, MaxFetches: 64})
+	if err := c.Seed(seeds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	snapshot := func() {
+		snap, err := c.Crawl()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Rows() == 0 {
+			t.Fatal("empty CRAWL snapshot")
+		}
+		doc, err := c.Doc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.Rows() == 0 {
+			t.Fatal("empty DOCUMENT snapshot")
+		}
+	}
+	// The first call replaces no prior snapshot and may allocate fresh
+	// pages; every later refresh must recycle the previous copy's.
+	snapshot()
+	after1 := db.Disk().NumPages()
+	for i := 0; i < 10; i++ {
+		snapshot()
+		if n := db.Disk().NumPages(); n != after1 {
+			t.Fatalf("poll %d: NumPages = %d, want %d (snapshot refresh must not grow the disk)", i, n, after1)
+		}
+	}
+}
+
+func pageURL(host, i int) string {
+	return "http://h" + string(rune('a'+host)) + ".test/p" + string(rune('0'+i))
+}

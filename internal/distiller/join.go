@@ -15,7 +15,7 @@ func RunJoin(db *relstore.DB, tb Tables, cfg Config) (Breakdown, error) {
 	if err := checkTables(tb); err != nil {
 		return bd, err
 	}
-	if err := seedHubs(tb); err != nil {
+	if err := seedHubsFor(tb, cfg); err != nil {
 		return bd, err
 	}
 	for it := 0; it < cfg.Iterations; it++ {
@@ -173,15 +173,11 @@ func joinHalfPar(db *relstore.DB, tb Tables, cfg Config, fwd bool) (Breakdown, e
 		joinCol, groupCol = lDst, lSrc
 	}
 
-	// Scan + filter LINK, partitioned by hash(group oid).
+	// Scan + filter LINK, partitioned by hash(group oid) — fanned out
+	// across segments when the link relation exposes its tuple runs
+	// (partitionLink), streamed through one iterator otherwise.
 	t0 := time.Now()
-	linkIt, err := tb.Link.Iter()
-	if err != nil {
-		return bd, err
-	}
-	parts, err := relstore.PartitionByKey(
-		relstore.FilterIter(linkIt, cfg.keepEdge),
-		cfg.Parallelism, relstore.KeyOfCols(groupCol))
+	parts, err := partitionLink(tb.Link, cfg, cfg.Parallelism, groupCol)
 	if err != nil {
 		return bd, err
 	}
@@ -248,7 +244,8 @@ func joinHalfPar(db *relstore.DB, tb Tables, cfg Config, fwd bool) (Breakdown, e
 		bd.add(pbd)
 	}
 
-	// Partitions hold disjoint group oids: concatenate, normalize, write.
+	// Partitions hold disjoint group oids: concatenate, normalize, write
+	// through one reused encode buffer.
 	t0 = time.Now()
 	var sum float64
 	for _, out := range outs {
@@ -259,13 +256,16 @@ func joinHalfPar(db *relstore.DB, tb Tables, cfg Config, fwd bool) (Breakdown, e
 	if err := dst.Truncate(); err != nil {
 		return bd, err
 	}
+	var buf []byte
+	row := relstore.Tuple{relstore.I64(0), relstore.F64(0)}
 	for _, out := range outs {
 		for _, r := range out {
 			score := r[1].Float()
 			if sum > 0 {
 				score /= sum
 			}
-			if _, err := dst.Insert(relstore.Tuple{r[0], relstore.F64(score)}); err != nil {
+			row[0], row[1] = r[0], relstore.F64(score)
+			if _, buf, err = dst.InsertBuf(buf, row); err != nil {
 				return bd, err
 			}
 		}

@@ -1,0 +1,169 @@
+package distiller
+
+import (
+	"sync"
+
+	"focus/internal/relstore"
+)
+
+// The serial bottlenecks of the partition-parallel join plan live here.
+// Profiling joinHalfPar showed that with the per-partition chains already
+// concurrent, the wall clock was dominated by the single-threaded prefix:
+// streaming the whole LINK relation through one iterator to hash-partition
+// it (allocating a fresh key per edge), and seeding HUBS through one
+// distinct-source scan. Both are embarrassingly parallel if the relation
+// is available as independent slices — which the crawler's snapshot always
+// is — so LinkRel implementations may expose that shape through an
+// optional interface and the distiller fans out over it.
+
+// tupleRunsRel is the optional zero-copy surface a LinkRel may provide:
+// the relation as tuple runs whose concatenation equals Iter order.
+// linkgraph.Snapshot implements it (one run per stripe). When present, the
+// partition and seed passes below split the runs across goroutines instead
+// of draining one iterator; the results are element-for-element identical
+// to the generic path because every segment keeps its arrival order and
+// segments are concatenated in run order.
+type tupleRunsRel interface {
+	TupleRuns() ([][]relstore.Tuple, error)
+}
+
+// linkSegments slices the runs into roughly 4*p contiguous segments (never
+// splitting finer than 1024 tuples) so the fan-out scales with p even when
+// the relation is one long run. Segment order concatenates back to run
+// order, which is what keeps the parallel passes order-identical to the
+// serial ones.
+func linkSegments(runs [][]relstore.Tuple, p int) [][]relstore.Tuple {
+	var total int
+	for _, run := range runs {
+		total += len(run)
+	}
+	seg := total / (4 * p)
+	if seg < 1024 {
+		seg = 1024
+	}
+	var segs [][]relstore.Tuple
+	for _, run := range runs {
+		for len(run) > seg {
+			segs = append(segs, run[:seg])
+			run = run[seg:]
+		}
+		if len(run) > 0 {
+			segs = append(segs, run)
+		}
+	}
+	return segs
+}
+
+// partitionLink hash-partitions the filtered LINK relation by the group
+// column into p buckets. With a tupleRunsRel link the segments are
+// partitioned concurrently — same FNV hash over the same AppendKey bytes
+// as the generic relstore.PartitionByKey path, but with one reused scratch
+// buffer per segment instead of a fresh key allocation per edge — and the
+// per-segment buckets are concatenated in segment order, reproducing the
+// generic path's partition contents exactly. Otherwise it falls back to
+// the single-threaded iterator stream.
+func partitionLink(link LinkRel, cfg Config, p, groupCol int) ([][]relstore.Tuple, error) {
+	tr, ok := link.(tupleRunsRel)
+	if !ok {
+		it, err := link.Iter()
+		if err != nil {
+			return nil, err
+		}
+		return relstore.PartitionByKey(
+			relstore.FilterIter(it, cfg.keepEdge), p, relstore.KeyOfCols(groupCol))
+	}
+	runs, err := tr.TupleRuns()
+	if err != nil {
+		return nil, err
+	}
+	segs := linkSegments(runs, p)
+	perSeg := make([][][]relstore.Tuple, len(segs))
+	var wg sync.WaitGroup
+	for si, seg := range segs {
+		wg.Add(1)
+		go func(si int, seg []relstore.Tuple) {
+			defer wg.Done()
+			buckets := make([][]relstore.Tuple, p)
+			var scratch []byte
+			for _, t := range seg {
+				if !cfg.keepEdge(t) {
+					continue
+				}
+				scratch = relstore.AppendKey(scratch[:0], t[groupCol])
+				b := relstore.HashTuple(scratch, p)
+				buckets[b] = append(buckets[b], t)
+			}
+			perSeg[si] = buckets
+		}(si, seg)
+	}
+	wg.Wait()
+	parts := make([][]relstore.Tuple, p)
+	for b := 0; b < p; b++ {
+		var n int
+		for si := range perSeg {
+			n += len(perSeg[si][b])
+		}
+		parts[b] = make([]relstore.Tuple, 0, n)
+		for si := range perSeg {
+			parts[b] = append(parts[b], perSeg[si][b]...)
+		}
+	}
+	return parts, nil
+}
+
+// seedHubsFor (re)initializes HUBS with score 1 for every distinct link
+// source. With Parallelism > 1 and a tupleRunsRel link, the distinct-source
+// discovery fans out: each segment collects its first-seen sources in
+// order into a local list, and the lists are merged serially in segment
+// order against one global set — first-seen order across concatenated
+// segments is exactly the serial scan's insertion order, so HUBS's heap
+// order (and therefore every downstream scan) is unchanged. The rows land
+// through one reused encode buffer (InsertBuf).
+func seedHubsFor(tb Tables, cfg Config) error {
+	tr, ok := tb.Link.(tupleRunsRel)
+	if !ok || cfg.Parallelism <= 1 {
+		return seedHubs(tb)
+	}
+	if err := tb.Hubs.Truncate(); err != nil {
+		return err
+	}
+	runs, err := tr.TupleRuns()
+	if err != nil {
+		return err
+	}
+	segs := linkSegments(runs, cfg.Parallelism)
+	locals := make([][]int64, len(segs))
+	var wg sync.WaitGroup
+	for si, seg := range segs {
+		wg.Add(1)
+		go func(si int, seg []relstore.Tuple) {
+			defer wg.Done()
+			seen := make(map[int64]bool)
+			var order []int64
+			for _, t := range seg {
+				if src := t[lSrc].Int(); !seen[src] {
+					seen[src] = true
+					order = append(order, src)
+				}
+			}
+			locals[si] = order
+		}(si, seg)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool)
+	var buf []byte
+	row := relstore.Tuple{relstore.I64(0), relstore.F64(1)}
+	for _, order := range locals {
+		for _, src := range order {
+			if seen[src] {
+				continue
+			}
+			seen[src] = true
+			row[0] = relstore.I64(src)
+			if _, buf, err = tb.Hubs.InsertBuf(buf, row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

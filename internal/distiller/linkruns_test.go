@@ -1,0 +1,198 @@
+package distiller
+
+import (
+	"testing"
+
+	"focus/internal/relstore"
+)
+
+// runsRel is a LinkRel exposing its tuples as runs — the shape
+// linkgraph.Snapshot provides — so tests can drive the fan-out paths of
+// partitionLink and seedHubsFor directly.
+type runsRel struct{ runs [][]relstore.Tuple }
+
+func (r runsRel) TupleRuns() ([][]relstore.Tuple, error) { return r.runs, nil }
+
+func (r runsRel) Scan(fn func(relstore.RID, relstore.Tuple) (bool, error)) error {
+	for _, run := range r.runs {
+		for _, t := range run {
+			stop, err := fn(relstore.RID{}, t)
+			if err != nil || stop {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r runsRel) Iter() (relstore.Iterator, error) {
+	var all []relstore.Tuple
+	for _, run := range r.runs {
+		all = append(all, run...)
+	}
+	return relstore.NewSliceIter(all), nil
+}
+
+// splitRuns chops a tuple slice into uneven runs (including an empty one)
+// so segment boundaries in the fast path land in awkward places.
+func splitRuns(rows []relstore.Tuple) [][]relstore.Tuple {
+	n := len(rows)
+	cuts := []int{0, n / 7, n / 7, n / 2, n}
+	var runs [][]relstore.Tuple
+	for i := 1; i < len(cuts); i++ {
+		runs = append(runs, rows[cuts[i-1]:cuts[i]])
+	}
+	return runs
+}
+
+// TestRunsFastPathMatchesIteratorPathExactly: RunJoin over a TupleRuns-
+// backed link must produce byte-for-byte the scores of the same edges
+// streamed through the generic iterator path, at every parallelism. The
+// fast path partitions segments concurrently but with the same hash over
+// the same key bytes, concatenated in segment order — so not merely close:
+// the float summation order is identical, and so are the scores.
+func TestRunsFastPathMatchesIteratorPathExactly(t *testing.T) {
+	edges, rel := randomGraph(57, 220, 1800)
+	db, tb := buildGraph(t, edges, rel)
+
+	linkTab := tb.Link.(*relstore.Table)
+	var rows []relstore.Tuple
+	if err := linkTab.Scan(func(_ relstore.RID, tp relstore.Tuple) (bool, error) {
+		rows = append(rows, tp)
+		return false, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, p := range []int{1, 2, 4, 8} {
+		cfg := Config{Iterations: 3, Parallelism: p}
+		if _, err := RunJoin(db, tb, cfg); err != nil {
+			t.Fatal(err)
+		}
+		wantH, wantA := tableScores(t, tb.Hubs), tableScores(t, tb.Auth)
+
+		db2 := relstore.Open(relstore.Options{Frames: 1024})
+		hubs2, _ := db2.CreateTable("HUBS", HubsAuthSchema())
+		auth2, _ := db2.CreateTable("AUTH", HubsAuthSchema())
+		tb2 := Tables{Link: runsRel{runs: splitRuns(rows)}, Hubs: hubs2, Auth: auth2}
+		cfg2 := cfg
+		cfg2.Relevance = rel
+		if _, err := RunJoin(db2, tb2, cfg2); err != nil {
+			t.Fatal(err)
+		}
+		gotH, gotA := tableScores(t, tb2.Hubs), tableScores(t, tb2.Auth)
+
+		// buildGraph's Tables carry CRAWL for the rho filter; the runs-backed
+		// Tables use cfg.Relevance with the same map, so the admitted
+		// authority set is identical and exact equality is the right check.
+		for label, pair := range map[string][2]map[int64]float64{
+			"hubs": {gotH, wantH}, "auth": {gotA, wantA},
+		} {
+			got, want := pair[0], pair[1]
+			if len(got) != len(want) {
+				t.Fatalf("P=%d %s: %d scores, want %d", p, label, len(got), len(want))
+			}
+			for k, w := range want {
+				if g := got[k]; g != w {
+					t.Fatalf("P=%d %s node %d: %v != %v (fast path must be bit-identical)",
+						p, label, k, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionLinkMatchesGeneric pins the partition pass itself: same
+// buckets, same order within each bucket, at several parallelism levels
+// and with the nepotism filter doing real work.
+func TestPartitionLinkMatchesGeneric(t *testing.T) {
+	edges, rel := randomGraph(91, 120, 6000)
+	_, tb := buildGraph(t, edges, rel)
+	linkTab := tb.Link.(*relstore.Table)
+	var rows []relstore.Tuple
+	if err := linkTab.Scan(func(_ relstore.RID, tp relstore.Tuple) (bool, error) {
+		rows = append(rows, tp)
+		return false, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rel2 := runsRel{runs: splitRuns(rows)}
+	cfg := Config{}.withDefaults()
+	for _, p := range []int{1, 2, 3, 8} {
+		for _, groupCol := range []int{lSrc, lDst} {
+			it, err := rel2.Iter()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := relstore.PartitionByKey(
+				relstore.FilterIter(it, cfg.keepEdge), p, relstore.KeyOfCols(groupCol))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := partitionLink(rel2, cfg, p, groupCol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("p=%d: %d buckets, want %d", p, len(got), len(want))
+			}
+			for b := range want {
+				if len(got[b]) != len(want[b]) {
+					t.Fatalf("p=%d bucket %d: %d tuples, want %d", p, b, len(got[b]), len(want[b]))
+				}
+				for i := range want[b] {
+					for c := range want[b][i] {
+						if got[b][i][c] != want[b][i][c] {
+							t.Fatalf("p=%d bucket %d tuple %d differs", p, b, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLinkSegmentsCoverInOrder: segments must concatenate back to exactly
+// the run concatenation, for assorted run shapes and parallelism.
+func TestLinkSegmentsCoverInOrder(t *testing.T) {
+	mkRun := func(start, n int) []relstore.Tuple {
+		run := make([]relstore.Tuple, n)
+		for i := range run {
+			run[i] = relstore.Tuple{relstore.I64(int64(start + i))}
+		}
+		return run
+	}
+	shapes := [][]relstore.Tuple{
+		nil,
+		mkRun(0, 1),
+		mkRun(1, 3000),
+		mkRun(3001, 10000),
+		mkRun(13001, 500),
+	}
+	for _, p := range []int{1, 2, 4, 16} {
+		segs := linkSegments(shapes, p)
+		var flat []int64
+		for _, seg := range segs {
+			for _, tp := range seg {
+				flat = append(flat, tp[0].Int())
+			}
+		}
+		var want []int64
+		for _, run := range shapes {
+			for _, tp := range run {
+				want = append(want, tp[0].Int())
+			}
+		}
+		if len(flat) != len(want) {
+			t.Fatalf("p=%d: segments hold %d tuples, want %d", p, len(flat), len(want))
+		}
+		for i := range want {
+			if flat[i] != want[i] {
+				t.Fatalf("p=%d: segment order diverges at %d (%d != %d)", p, i, flat[i], want[i])
+			}
+		}
+		if p >= 4 && len(segs) < 4 {
+			t.Fatalf("p=%d: only %d segments over %d tuples — no fan-out", p, len(segs), len(want))
+		}
+	}
+}

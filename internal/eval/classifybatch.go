@@ -44,9 +44,11 @@ type ClassifyBatchConfig struct {
 	// Batches lists the ClassifyBatch settings to sweep (default 1, 16,
 	// 64; 1 is the inline baseline).
 	Batches []int
-	// Parallelism hash-partitions each batch by did across this many
-	// concurrently classified partitions (default 1 — on a single core
-	// the batch plan's win is set-orientation, not parallelism).
+	// Parallelism is the classifier-stage worker count: the classify
+	// queue is hash-partitioned by did across this many stage workers,
+	// each batching, classifying, and completing its own partition
+	// (default 1 — on a single core the batch plan's win is
+	// set-orientation, not parallelism).
 	Parallelism int
 }
 

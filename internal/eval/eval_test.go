@@ -299,3 +299,42 @@ func TestRunHostilePoliteBeatsNaive(t *testing.T) {
 		t.Fatal("json artifact broken")
 	}
 }
+
+func TestRunCoreScalingShape(t *testing.T) {
+	r, err := RunCoreScaling(CoreScalingConfig{
+		Web:    DocHeavyWeb(44, 1200),
+		Seeds:  6,
+		Budget: 150,
+		Cores:  []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.Visited == 0 || p.PagesPerSec <= 0 {
+			t.Fatalf("cores=%d: empty crawl measurement %+v", p.Cores, p)
+		}
+		if p.Edges == 0 || p.DistillWall <= 0 || p.DistillCompute <= 0 {
+			t.Fatalf("cores=%d: empty distill measurement %+v", p.Cores, p)
+		}
+	}
+	// On a single-core host the two points legitimately tie, so only the
+	// shape is asserted here; the CI runner checks the speedup floor.
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "crawl speedup at max cores") {
+		t.Fatal("render broken")
+	}
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"\"crawl_speedup\"", "\"distill_wall_ns\"", "\"pages_per_sec\""} {
+		if !strings.Contains(buf.String(), key) {
+			t.Fatalf("json artifact missing %s", key)
+		}
+	}
+}

@@ -126,6 +126,39 @@ type stripe struct {
 	tab   *relstore.Table
 	bysrc *relstore.Index
 	bydst *relstore.Index
+
+	// pend holds snapshots registered against this stripe whose tuple run
+	// has not been copied out yet. Every snapshot here was registered since
+	// the stripe's last mutation, so they all see the same state and one
+	// copy serves them all; mutators materialize (and clear) the list
+	// before their first write. Guarded by mu.
+	pend []*Snapshot
+}
+
+// materializePending copies the stripe's current tuples into every snapshot
+// still pending on it — one shared copy, since all pending snapshots were
+// taken since the last mutation — and clears the list. The caller must hold
+// st.mu. Mutators call it before their first write; snapshot readers call
+// it (through Snapshot.run) on first access to a stripe no write has
+// reached. O(1) when nothing is pending, so writers pay the copy at most
+// once per snapshot epoch.
+func (st *stripe) materializePending() error {
+	if len(st.pend) == 0 {
+		return nil
+	}
+	run := make([]relstore.Tuple, 0, st.tab.Rows())
+	err := st.tab.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
+		run = append(run, t)
+		return false, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, sn := range st.pend {
+		sn.runs[st.id].Store(&run)
+	}
+	st.pend = nil
+	return nil
 }
 
 // Store is the striped LINK relation.
@@ -284,6 +317,10 @@ func (st *stripe) applyLocked(idxs []int, edges []Edge, weight WeightFunc, inser
 			}
 			e.WgtFwd = w
 		}
+		// Copy-on-write: pending snapshots capture the pre-insert image.
+		if err := st.materializePending(); err != nil {
+			return err
+		}
 		if _, err := st.tab.Insert(e.tuple()); err != nil {
 			return err
 		}
@@ -436,6 +473,12 @@ func (st *stripe) updateIncomingFwd(prefix []byte, fwd float64) error {
 	if err != nil {
 		return err
 	}
+	if len(ups) > 0 {
+		// Copy-on-write: pending snapshots capture the pre-rewrite image.
+		if err := st.materializePending(); err != nil {
+			return err
+		}
+	}
 	for _, u := range ups {
 		if err := st.tab.Update(u.rid, u.row); err != nil {
 			return err
@@ -526,48 +569,94 @@ func (s *Store) ByDstIter() (relstore.Iterator, error) {
 	}), nil
 }
 
-// Snapshot is an immutable point-in-time copy of the LINK relation: one
-// tuple run per stripe, copied in ascending stripe id under the stripe
-// locks, heap order within each run — exactly the Store.Scan order of the
-// moment the snapshot was taken. It satisfies the distiller's LinkRel
-// surface, so a distillation epoch can run entirely off to the side while
-// workers keep mutating the live store: the snapshot shares nothing with
-// the stripe tables and needs no locks to read. Scan reports a zero RID
-// (snapshot rows have no stable storage address).
+// Snapshot is an immutable point-in-time view of the LINK relation: one
+// tuple run per stripe, in ascending stripe id, heap order within each run
+// — exactly the Store.Scan order of the moment the snapshot was taken. It
+// satisfies the distiller's LinkRel surface, so a distillation epoch can
+// run entirely off to the side while workers keep mutating the live store.
+//
+// The view is copy-on-write: taking a snapshot registers it with every
+// stripe in O(stripes) — the part that runs under the crawler's
+// stop-the-world barrier — and the O(rows) tuple copy of a stripe happens
+// later, off the barrier, at the stripe's first subsequent write (which
+// copies once and shares the run with every snapshot pending there) or at
+// the snapshot reader's first access to that stripe, whichever comes
+// first. A stripe no write or read ever touches again is never copied at
+// all. Scan reports a zero RID (snapshot rows have no stable storage
+// address).
 type Snapshot struct {
-	runs  [][]relstore.Tuple
+	store *Store
 	edges int64
+	// runs[i] is stripe i's materialized tuple run, nil until the stripe's
+	// copy-on-write or a reader's lazy materialization fills it (both under
+	// the stripe lock). Immutable once stored.
+	runs []atomic.Pointer[[]relstore.Tuple]
 }
 
-// SnapshotLocked copies every stripe's tuples. The caller must hold every
-// stripe lock (the crawler's short distill barrier); the copy is therefore
-// a consistent cross-stripe image. Cost is O(edges) tuple copies — the
-// whole point is that this is far cheaper than holding the barrier for the
-// distillation itself.
+// SnapshotLocked registers a snapshot against every stripe. The caller must
+// hold every stripe lock (the crawler's short distill barrier); the
+// registration is therefore a consistent cross-stripe cut, and costs
+// O(stripes), not O(edges) — the copies happen copy-on-write after the
+// barrier drops (see Snapshot).
 func (s *Store) SnapshotLocked() (*Snapshot, error) {
-	sn := &Snapshot{runs: make([][]relstore.Tuple, len(s.stripes))}
-	for i, st := range s.stripes {
-		run := make([]relstore.Tuple, 0, st.tab.Rows())
-		err := st.tab.Scan(func(_ relstore.RID, t relstore.Tuple) (bool, error) {
-			run = append(run, t)
-			return false, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		sn.runs[i] = run
-		sn.edges += int64(len(run))
+	sn := &Snapshot{
+		store: s,
+		runs:  make([]atomic.Pointer[[]relstore.Tuple], len(s.stripes)),
+	}
+	for _, st := range s.stripes {
+		st.pend = append(st.pend, sn)
+		sn.edges += st.tab.Rows()
 	}
 	return sn, nil
 }
 
-// Rows returns the snapshot's edge count.
+// run returns stripe i's tuple run, lazily materializing it from the live
+// stripe if no post-snapshot write has copied it out yet. The stripe lock
+// is taken only on that first access; once the pointer is set the stripe
+// is never touched again.
+func (sn *Snapshot) run(i int) ([]relstore.Tuple, error) {
+	if p := sn.runs[i].Load(); p != nil {
+		return *p, nil
+	}
+	st := sn.store.stripes[i]
+	st.mu.Lock()
+	err := st.materializePending()
+	st.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	// materializePending filled sn.runs[i] (either our call or a racing
+	// writer's before we took the lock).
+	return *sn.runs[i].Load(), nil
+}
+
+// TupleRuns exposes the snapshot's per-stripe tuple runs, materializing any
+// still pending. Concatenated in order, the runs equal the Scan order; the
+// parallel distiller partitions the edge scan across cores run by run
+// through this surface instead of re-streaming one Iter.
+func (sn *Snapshot) TupleRuns() ([][]relstore.Tuple, error) {
+	runs := make([][]relstore.Tuple, len(sn.runs))
+	for i := range sn.runs {
+		r, err := sn.run(i)
+		if err != nil {
+			return nil, err
+		}
+		runs[i] = r
+	}
+	return runs, nil
+}
+
+// Rows returns the snapshot's edge count (captured at the barrier).
 func (sn *Snapshot) Rows() int64 { return sn.edges }
 
 // Scan visits every snapshot edge in stripe order, heap order within a
 // stripe — the same order Store.Scan produced at snapshot time.
 func (sn *Snapshot) Scan(fn func(rid relstore.RID, t relstore.Tuple) (bool, error)) error {
-	for _, run := range sn.runs {
+	for i := range sn.runs {
+		run, err := sn.run(i)
+		if err != nil {
+			return err
+		}
 		for _, t := range run {
 			stop, err := fn(relstore.RID{}, t)
 			if err != nil {
@@ -590,22 +679,33 @@ func (sn *Snapshot) Iter() (relstore.Iterator, error) {
 }
 
 type snapshotIter struct {
-	sn   *Snapshot
-	run  int
-	next int
+	sn     *Snapshot
+	run    int
+	cur    []relstore.Tuple
+	loaded bool
+	next   int
 }
 
 func (it *snapshotIter) Next() (relstore.Tuple, bool, error) {
-	for it.run < len(it.sn.runs) {
-		if it.next < len(it.sn.runs[it.run]) {
-			t := it.sn.runs[it.run][it.next]
+	for {
+		if !it.loaded {
+			if it.run >= len(it.sn.runs) {
+				return nil, false, nil
+			}
+			r, err := it.sn.run(it.run)
+			if err != nil {
+				return nil, false, err
+			}
+			it.cur, it.loaded, it.next = r, true, 0
+		}
+		if it.next < len(it.cur) {
+			t := it.cur[it.next]
 			it.next++
 			return t, true, nil
 		}
 		it.run++
-		it.next = 0
+		it.loaded = false
 	}
-	return nil, false, nil
 }
 
 // LockedView adapts a Store held under the barrier to the relational read

@@ -404,6 +404,33 @@ func (t *BTree) scanLeaves(pid PageID, n *bnode, from, to []byte, fn func(k, v [
 	}
 }
 
+// FreePages returns every node page of the tree to the disk manager's free
+// list via depth-first walk. The tree is unusable afterwards; callers drop
+// it (DropIndex, DropTable) or replace it (Truncate).
+func (t *BTree) FreePages() error {
+	if t.root == InvalidPage {
+		return nil
+	}
+	err := t.freeSubtree(t.root)
+	t.root = InvalidPage
+	return err
+}
+
+func (t *BTree) freeSubtree(pid PageID) error {
+	n, err := t.readNode(pid)
+	if err != nil {
+		return err
+	}
+	if !n.leaf {
+		for i := 0; i <= len(n.keys); i++ {
+			if err := t.freeSubtree(childPID(n, i)); err != nil {
+				return err
+			}
+		}
+	}
+	return t.bp.FreePage(pid)
+}
+
 // First returns the smallest key and its value, if the tree is non-empty.
 func (t *BTree) First() (key, val []byte, ok bool, err error) {
 	err = t.Scan(nil, nil, func(k, v []byte) (bool, error) {

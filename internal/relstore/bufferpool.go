@@ -174,6 +174,25 @@ func (bp *BufferPool) NewPage() (*Frame, error) {
 	return f, nil
 }
 
+// FreePage returns pid to the disk manager's free list. If the page is
+// resident its frame is invalidated without flushing — the contents are
+// dead, and a later flush would race with whoever reuses the page. Freeing
+// a pinned page is an error (some iterator still holds it).
+func (bp *BufferPool) FreePage(pid PageID) error {
+	bp.mu.Lock()
+	if f, ok := bp.table[pid]; ok {
+		if f.pin > 0 {
+			bp.mu.Unlock()
+			return fmt.Errorf("relstore: free of pinned page %d", pid)
+		}
+		delete(bp.table, pid)
+		f.valid = false
+		f.dirty = false
+	}
+	bp.mu.Unlock()
+	return bp.disk.Free(pid)
+}
+
 // Unpin releases one pin on f, marking the page dirty if it was modified.
 func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
 	bp.mu.Lock()

@@ -43,10 +43,18 @@ type DiskManager interface {
 	ReadPage(pid PageID, buf []byte) error
 	// WritePage persists buf (len PageSize) as the page's bytes.
 	WritePage(pid PageID, buf []byte) error
-	// Allocate reserves a fresh page and returns its ID.
+	// Allocate reserves a page and returns its ID, reusing a freed page
+	// when one is available. Reused pages are not zeroed; callers must
+	// write before reading (BufferPool.NewPage hands out a zeroed frame).
 	Allocate() (PageID, error)
-	// NumPages reports how many pages have been allocated.
+	// Free returns a page to the allocator for reuse. Reading, writing, or
+	// re-freeing a freed page is an error until Allocate hands it out again.
+	Free(pid PageID) error
+	// NumPages reports the high-water page count (freed pages included,
+	// since they still occupy address space until reused).
 	NumPages() int64
+	// FreePages reports how many freed pages are awaiting reuse.
+	FreePages() int64
 	// Stats exposes the physical I/O counters.
 	Stats() *IOStats
 	// Close releases underlying resources.
@@ -59,6 +67,8 @@ type DiskManager interface {
 type MemDisk struct {
 	mu      sync.Mutex
 	pages   [][]byte
+	free    []PageID
+	freed   map[PageID]struct{}
 	stats   IOStats
 	latency time.Duration
 }
@@ -86,6 +96,10 @@ func (d *MemDisk) ReadPage(pid PageID, buf []byte) error {
 		d.mu.Unlock()
 		return fmt.Errorf("relstore: read of unallocated page %d", pid)
 	}
+	if _, ok := d.freed[pid]; ok {
+		d.mu.Unlock()
+		return fmt.Errorf("relstore: read of freed page %d", pid)
+	}
 	src := d.pages[pid-1]
 	if src == nil {
 		for i := range buf {
@@ -107,6 +121,10 @@ func (d *MemDisk) WritePage(pid PageID, buf []byte) error {
 		d.mu.Unlock()
 		return fmt.Errorf("relstore: write of unallocated page %d", pid)
 	}
+	if _, ok := d.freed[pid]; ok {
+		d.mu.Unlock()
+		return fmt.Errorf("relstore: write of freed page %d", pid)
+	}
 	dst := d.pages[pid-1]
 	if dst == nil {
 		dst = make([]byte, PageSize)
@@ -122,10 +140,37 @@ func (d *MemDisk) WritePage(pid PageID, buf []byte) error {
 // Allocate implements DiskManager.
 func (d *MemDisk) Allocate() (PageID, error) {
 	d.mu.Lock()
+	if n := len(d.free); n > 0 {
+		pid := d.free[n-1]
+		d.free = d.free[:n-1]
+		delete(d.freed, pid)
+		d.mu.Unlock()
+		return pid, nil
+	}
 	d.pages = append(d.pages, nil)
 	pid := PageID(len(d.pages))
 	d.mu.Unlock()
 	return pid, nil
+}
+
+// Free implements DiskManager.
+func (d *MemDisk) Free(pid PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if pid == InvalidPage || int64(pid) > int64(len(d.pages)) {
+		return fmt.Errorf("relstore: free of unallocated page %d", pid)
+	}
+	if _, ok := d.freed[pid]; ok {
+		return fmt.Errorf("relstore: double free of page %d", pid)
+	}
+	if d.freed == nil {
+		d.freed = make(map[PageID]struct{})
+	}
+	d.freed[pid] = struct{}{}
+	d.free = append(d.free, pid)
+	// Drop the backing so reuse starts from zeroes, like a fresh page.
+	d.pages[pid-1] = nil
+	return nil
 }
 
 // NumPages implements DiskManager.
@@ -135,17 +180,28 @@ func (d *MemDisk) NumPages() int64 {
 	return int64(len(d.pages))
 }
 
+// FreePages implements DiskManager.
+func (d *MemDisk) FreePages() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(len(d.free))
+}
+
 // Stats implements DiskManager.
 func (d *MemDisk) Stats() *IOStats { return &d.stats }
 
 // Close implements DiskManager.
 func (d *MemDisk) Close() error { return nil }
 
-// FileDisk is a DiskManager backed by a single operating-system file.
+// FileDisk is a DiskManager backed by a single operating-system file. The
+// free list is kept in memory only; a reopened file starts with no free
+// pages (there is no persistent catalog to recover them from yet).
 type FileDisk struct {
 	mu    sync.Mutex
 	f     *os.File
 	n     int64
+	free  []PageID
+	freed map[PageID]struct{}
 	stats IOStats
 }
 
@@ -165,6 +221,9 @@ func (d *FileDisk) ReadPage(pid PageID, buf []byte) error {
 	if pid == InvalidPage || int64(pid) > d.n {
 		return fmt.Errorf("relstore: read of unallocated page %d", pid)
 	}
+	if _, ok := d.freed[pid]; ok {
+		return fmt.Errorf("relstore: read of freed page %d", pid)
+	}
 	d.stats.Reads.Add(1)
 	_, err := d.f.ReadAt(buf[:PageSize], int64(pid-1)*PageSize)
 	return err
@@ -177,6 +236,9 @@ func (d *FileDisk) WritePage(pid PageID, buf []byte) error {
 	if pid == InvalidPage || int64(pid) > d.n {
 		return fmt.Errorf("relstore: write of unallocated page %d", pid)
 	}
+	if _, ok := d.freed[pid]; ok {
+		return fmt.Errorf("relstore: write of freed page %d", pid)
+	}
 	d.stats.Writes.Add(1)
 	_, err := d.f.WriteAt(buf[:PageSize], int64(pid-1)*PageSize)
 	return err
@@ -186,6 +248,12 @@ func (d *FileDisk) WritePage(pid PageID, buf []byte) error {
 func (d *FileDisk) Allocate() (PageID, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if n := len(d.free); n > 0 {
+		pid := d.free[n-1]
+		d.free = d.free[:n-1]
+		delete(d.freed, pid)
+		return pid, nil
+	}
 	d.n++
 	pid := PageID(d.n)
 	// Extend the file so reads of never-written pages see zeroes.
@@ -196,11 +264,37 @@ func (d *FileDisk) Allocate() (PageID, error) {
 	return pid, nil
 }
 
+// Free implements DiskManager. The page's old bytes stay in the file; the
+// buffer pool never reads a reallocated page before writing it.
+func (d *FileDisk) Free(pid PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if pid == InvalidPage || int64(pid) > d.n {
+		return fmt.Errorf("relstore: free of unallocated page %d", pid)
+	}
+	if _, ok := d.freed[pid]; ok {
+		return fmt.Errorf("relstore: double free of page %d", pid)
+	}
+	if d.freed == nil {
+		d.freed = make(map[PageID]struct{})
+	}
+	d.freed[pid] = struct{}{}
+	d.free = append(d.free, pid)
+	return nil
+}
+
 // NumPages implements DiskManager.
 func (d *FileDisk) NumPages() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.n
+}
+
+// FreePages implements DiskManager.
+func (d *FileDisk) FreePages() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(len(d.free))
 }
 
 // Stats implements DiskManager.

@@ -233,10 +233,12 @@ func (h *HeapFile) Scan(fn func(rid RID, rec []byte) (stop bool, err error)) err
 	return nil
 }
 
-// Truncate resets the heap file to a single empty page. Old pages are not
-// reclaimed from the disk manager (the distiller rebuilds HUBS/AUTH each
-// iteration; leaked pages only cost simulated disk space).
+// Truncate resets the heap file to a single empty page and returns the old
+// chain's pages to the disk manager's free list, so the distiller's
+// rebuild-HUBS/AUTH-each-half-iteration pattern recycles the same pages
+// instead of growing the disk without bound.
 func (h *HeapFile) Truncate() error {
+	old := h.first
 	f, err := h.bp.NewPage()
 	if err != nil {
 		return err
@@ -247,5 +249,32 @@ func (h *HeapFile) Truncate() error {
 	h.first = pid
 	h.last = pid
 	h.rows = 0
+	return h.freeChain(old)
+}
+
+// FreePages returns every page of the heap chain to the disk manager's free
+// list. The heap file is unusable afterwards; callers drop it (DropTable) or
+// re-point it first (Truncate).
+func (h *HeapFile) FreePages() error {
+	err := h.freeChain(h.first)
+	h.first, h.last = InvalidPage, InvalidPage
+	return err
+}
+
+// freeChain walks a page chain from pid, freeing each page. The next
+// pointer is read before the page is freed.
+func (h *HeapFile) freeChain(pid PageID) error {
+	for pid != InvalidPage {
+		f, err := h.bp.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		next := heapNext(f.Data())
+		h.bp.Unpin(f, false)
+		if err := h.bp.FreePage(pid); err != nil {
+			return err
+		}
+		pid = next
+	}
 	return nil
 }

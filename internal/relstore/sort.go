@@ -103,7 +103,10 @@ func newRunReader(bp *BufferPool, first PageID) *runReader {
 
 // read returns the next (key, rec) pair; ok=false at end of run. The
 // returned slices alias the reader's buffer and are valid until the next
-// call.
+// call. Run pages are private to the sort and read exactly once, so each
+// page goes back to the free list the moment its bytes are copied out (a
+// merge abandoned before exhaustion leaks its unread tail, which is rare
+// and bounded by the input size).
 func (r *runReader) read() (key, rec []byte, ok bool, err error) {
 	for {
 		if r.done {
@@ -121,12 +124,16 @@ func (r *runReader) read() (key, rec []byte, ok bool, err error) {
 			r.done = true
 			continue
 		}
-		f, err := r.bp.Fetch(r.next)
+		cur := r.next
+		f, err := r.bp.Fetch(cur)
 		if err != nil {
 			return nil, nil, false, err
 		}
 		copy(r.buf, f.Data())
 		r.bp.Unpin(f, false)
+		if err := r.bp.FreePage(cur); err != nil {
+			return nil, nil, false, err
+		}
 		r.next = PageID(binary.LittleEndian.Uint32(r.buf[0:]))
 		r.used = int(binary.LittleEndian.Uint16(r.buf[4:]))
 		r.off = runHdr

@@ -86,15 +86,16 @@ func (tb *Table) AddIndex(name string, key func(Tuple) []byte) (*Index, error) {
 	return ix, nil
 }
 
-// DropIndex removes the named index (its pages are leaked to the disk
-// manager, like heap truncation).
-func (tb *Table) DropIndex(name string) {
+// DropIndex removes the named index and returns its B+tree pages to the
+// disk manager's free list.
+func (tb *Table) DropIndex(name string) error {
 	for i, ix := range tb.indexes {
 		if ix.Name == name {
 			tb.indexes = append(tb.indexes[:i], tb.indexes[i+1:]...)
-			return
+			return ix.Tree.FreePages()
 		}
 	}
+	return nil
 }
 
 // Index returns the named index or nil.
@@ -190,12 +191,16 @@ func (tb *Table) Delete(rid RID) error {
 	return nil
 }
 
-// Truncate removes every row (SQL DELETE FROM t). Indexes are rebuilt empty.
+// Truncate removes every row (SQL DELETE FROM t). Indexes are rebuilt
+// empty; the old heap chain and index trees go to the free list.
 func (tb *Table) Truncate() error {
 	if err := tb.heap.Truncate(); err != nil {
 		return err
 	}
 	for _, ix := range tb.indexes {
+		if err := ix.Tree.FreePages(); err != nil {
+			return err
+		}
 		tree, err := NewBTree(tb.db.pool)
 		if err != nil {
 			return err
@@ -295,8 +300,28 @@ func (db *DB) CreateTable(name string, schema *Schema) (*Table, error) {
 	return tb, nil
 }
 
-// DropTable removes a table from the catalog (pages are leaked).
-func (db *DB) DropTable(name string) { delete(db.tables, name) }
+// DropTable removes a table from the catalog and returns its heap and
+// index pages to the disk manager's free list, so drop/recreate cycles
+// (the Crawl()/Doc() snapshot refresh) reuse the same pages instead of
+// growing the disk. Any previously returned handle to the table becomes
+// invalid: reads of its freed pages fail.
+func (db *DB) DropTable(name string) error {
+	tb, ok := db.tables[name]
+	if !ok {
+		return nil
+	}
+	delete(db.tables, name)
+	if err := tb.heap.FreePages(); err != nil {
+		return err
+	}
+	for _, ix := range tb.indexes {
+		if err := ix.Tree.FreePages(); err != nil {
+			return err
+		}
+	}
+	tb.indexes = nil
+	return nil
+}
 
 // Table returns the named table or nil.
 func (db *DB) Table(name string) *Table { return db.tables[name] }
