@@ -322,3 +322,30 @@ func BenchmarkFig8dDistiller(b *testing.B) {
 		b.ReportMetric(float64(r.IndexWalk.Total())/float64(r.Join.Total()), "join-speedup")
 	}
 }
+
+// BenchmarkPoolShards compares the serial (1-shard) buffer pool against a
+// 16-shard pool with off-latch miss I/O at fixed total frames, on the
+// disk-resident crawl and the cold-probe microbench. A regression in the
+// loading-frame protocol shows up as sharded-pages/sec collapsing toward
+// serial-pages/sec; the gains should stay well above 1.3x.
+func BenchmarkPoolShards(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := eval.RunPoolScaling(eval.PoolScalingConfig{
+			Web:       webgraph.Config{Seed: 99},
+			Budget:    400,
+			Frames:    []int{128},
+			Shards:    []int{1, 16},
+			ProbeKeys: 8192,
+			Probes:    400,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p1, _ := r.PointAt(128, 1)
+		p16, _ := r.PointAt(128, 16)
+		b.ReportMetric(p1.Crawl.PagesPerSec, "serial-pages/sec")
+		b.ReportMetric(p16.Crawl.PagesPerSec, "sharded-pages/sec")
+		b.ReportMetric(p16.CrawlGain, "crawl-gain")
+		b.ReportMetric(p16.ProbeGain, "probe-gain")
+	}
+}

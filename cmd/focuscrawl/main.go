@@ -26,6 +26,7 @@ func main() {
 		workers = flag.Int("workers", 8, "crawler threads")
 		shards  = flag.Int("shards", 0, "frontier shards (0 = one per worker)")
 		stripes = flag.Int("linkstripes", 0, "LINK store stripes (0 = one per worker)")
+		pshards = flag.Int("poolshards", 0, "buffer-pool shards with off-latch miss I/O (0/1 = the single serial-miss pool)")
 		mode    = flag.String("mode", "soft", "soft | hard | unfocused")
 		distill = flag.Int64("distill", 500, "distill every N visits (0 = off)")
 		dpar    = flag.Int("distillpar", 0, "distiller join partitions (0/1 = serial)")
@@ -80,6 +81,7 @@ func main() {
 		Web:        wcfg,
 		GoodTopics: []string{*topic},
 		Crawl:      ccfg,
+		PoolShards: *pshards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -17,9 +17,12 @@
 // (harvest under rate limits, outages, and timeouts, naive vs the polite
 // politeness/backoff/breaker stack), and cores (crawl throughput and
 // distill latency vs GOMAXPROCS on the doc-heavy workload — the multicore
-// payoff of the parallel classifier stage and partitioned HITS); for
-// sweep, hostile, and cores, -json writes the study as a machine-readable
-// artifact.
+// payoff of the parallel classifier stage and partitioned HITS), and pool
+// (buffer-pool sharding: the disk-resident crawl and a cold-B+tree-probe
+// microbench at pool shards 1/4/16 × pool sizes — the serial pool holds
+// its latch across every miss's disk read, the sharded pool does miss I/O
+// off the latch); for sweep, hostile, cores, and pool, -json writes the
+// study as a machine-readable artifact.
 package main
 
 import (
@@ -34,7 +37,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to run: 5, 6, 7, 8a, 8b, 8c, 8d, scale, stall, classify, sweep, hostile, cores, all")
+		fig        = flag.String("fig", "all", "figure to run: 5, 6, 7, 8a, 8b, 8c, 8d, scale, stall, classify, sweep, hostile, cores, pool, all")
 		seed       = flag.Int64("seed", 1999, "random seed")
 		pages      = flag.Int("pages", 30000, "synthetic web size for crawl experiments")
 		budget     = flag.Int64("budget", 4000, "fetch budget for crawl experiments")
@@ -46,7 +49,8 @@ func main() {
 		distillpar = flag.Int("distillpar", 2, "distiller join partitions for the stall figure")
 		cpar       = flag.Int("classifypar", 0, "classifier-stage workers (batch queue partitioned by did) for the classify figure (0/1 = one stage)")
 		cbatch     = flag.Int("classifybatch", 0, "classify figure: sweep {1, N} instead of the default batch sizes (0 = default sweep)")
-		jsonPath   = flag.String("json", "", "sweep/hostile/cores figures: also write that study as JSON to this path (the CI BENCH_sweep.json / BENCH_hostile.json / BENCH_cores.json artifacts; use with a single -fig)")
+		poolshards = flag.Int("poolshards", 0, "pool figure: sweep {1, N} buffer-pool shards instead of the default {1, 4, 16} (0 = default sweep)")
+		jsonPath   = flag.String("json", "", "sweep/hostile/cores/pool figures: also write that study as JSON to this path (the CI BENCH_sweep.json / BENCH_hostile.json / BENCH_cores.json / BENCH_pool.json artifacts; use with a single -fig)")
 	)
 	flag.Parse()
 
@@ -267,6 +271,43 @@ func main() {
 		dense.TopicWeights = map[string]float64{*topic: *weight}
 		r, err := eval.RunCoreScaling(eval.CoreScalingConfig{
 			Web: dense, Topic: *topic, Budget: *budget / 2,
+		})
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			if err := r.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	})
+
+	run("pool", func() error {
+		// Buffer-pool sharding: the PR 5 disk-resident crawl workload plus
+		// the cold-B+tree-probe microbench, at pool shards 1/4/16 × two
+		// pool sizes with equal total frames. The 1-shard pool is the seed
+		// engine's discipline (latch held across every miss's disk read);
+		// sharded pools publish the victim frame in a loading state and
+		// read off the latch, so independent misses overlap and concurrent
+		// fetchers of one page share a single read. The study sizes its own
+		// link-heavy web; seed, topic, and budget pass through.
+		var shards []int
+		if *poolshards > 0 {
+			shards = []int{1, *poolshards}
+		}
+		r, err := eval.RunPoolScaling(eval.PoolScalingConfig{
+			Web:    webgraph.Config{Seed: *seed, TopicWeights: map[string]float64{*topic: *weight}},
+			Topic:  *topic,
+			Budget: *budget / 4,
+			Shards: shards,
 		})
 		if err != nil {
 			return err

@@ -33,6 +33,9 @@ type Config struct {
 	Crawl crawler.Config
 	// Frames sizes the buffer pool (default 4096 frames = 16 MiB).
 	Frames int
+	// PoolShards partitions the buffer pool into independent shards with
+	// off-latch miss I/O (0/1 = one shard, the serial seed semantics).
+	PoolShards int
 }
 
 // System is a ready-to-run Focus instance.
@@ -110,7 +113,7 @@ func NewSystemOnWeb(web *webgraph.Web, cfg Config) (*System, error) {
 	if cfg.Frames == 0 {
 		cfg.Frames = 4096
 	}
-	db := relstore.Open(relstore.Options{Frames: cfg.Frames})
+	db := relstore.Open(relstore.Options{Frames: cfg.Frames, PoolShards: cfg.PoolShards})
 	examples := classifier.Examples{}
 	for _, leaf := range tree.Leaves() {
 		examples[leaf.ID] = web.ExampleDocs(leaf.ID, cfg.ExamplesPerTopic)

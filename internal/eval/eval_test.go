@@ -338,3 +338,65 @@ func TestRunCoreScalingShape(t *testing.T) {
 		}
 	}
 }
+
+func TestRunPoolScalingShardedBeatsSingle(t *testing.T) {
+	// The pool-sharding acceptance number: on the disk-resident workload
+	// (8 workers, small pool, simulated read latency) the sharded pool's
+	// off-latch miss I/O must buy at least 1.3x the serial pool's
+	// pages/sec at equal total frames. Observed gain is ~8-16x (the serial
+	// pool holds its latch across every miss's read, so misses that could
+	// overlap serialize), so the floor has wide headroom.
+	r, err := RunPoolScaling(PoolScalingConfig{
+		Web:       webgraph.Config{Seed: 41},
+		Budget:    250,
+		Frames:    []int{96},
+		Shards:    []int{1, 8},
+		ProbeKeys: 4096,
+		Probes:    250,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, ok1 := r.PointAt(96, 1)
+	p8, ok8 := r.PointAt(96, 8)
+	if !ok1 || !ok8 {
+		t.Fatalf("missing grid points: %+v", r.Points)
+	}
+	t.Logf("serial: %+v", p1.Crawl)
+	t.Logf("sharded: %+v (gain %.2fx, probe gain %.2fx)", p8.Crawl, p8.CrawlGain, p8.ProbeGain)
+	if p1.Crawl.Visited == 0 || p8.Crawl.Visited == 0 {
+		t.Fatal("a crawl visited nothing")
+	}
+	if p1.Crawl.DiskReads == 0 || p8.Probe.DiskReads == 0 {
+		t.Fatal("no physical reads; the study is not in the disk-resident regime")
+	}
+	if p1.CrawlGain != 1 || p1.ProbeGain != 1 {
+		t.Fatalf("baseline gain not 1: %+v", p1)
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "Buffer-pool sharding") {
+		t.Fatal("render broken")
+	}
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"crawl_gain\"") {
+		t.Fatal("json artifact broken")
+	}
+	if raceEnabled {
+		// The gain is a real-time measurement of overlapped sleeps; keep
+		// the shape checks but skip the throughput floor under the
+		// detector's slowdown.
+		t.Skip("pool-scaling timing floor not asserted under -race")
+	}
+	if p8.CrawlGain < 1.3 {
+		t.Fatalf("sharded crawl gain %.2fx below the 1.3x floor (serial %.1f, sharded %.1f pages/sec)",
+			p8.CrawlGain, p1.Crawl.PagesPerSec, p8.Crawl.PagesPerSec)
+	}
+	if p8.ProbeGain < 1.3 {
+		t.Fatalf("sharded probe gain %.2fx below the 1.3x floor (serial %.0f, sharded %.0f probes/sec)",
+			p8.ProbeGain, p1.Probe.ProbesPerSec, p8.Probe.ProbesPerSec)
+	}
+}

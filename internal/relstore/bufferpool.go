@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // ReplacementPolicy selects the buffer pool's victim strategy.
@@ -16,20 +18,55 @@ const (
 	PolicyLRU
 )
 
-// ErrPoolExhausted is returned when every frame is pinned and a new page is
-// needed. It indicates an iterator leak or an absurdly small pool.
+// ErrPoolExhausted is returned when every frame a page may occupy is pinned
+// and a new page is needed. It indicates an iterator leak or an absurdly
+// small pool; with Shards > 1 it is scoped to the page's shard.
 var ErrPoolExhausted = errors.New("relstore: buffer pool exhausted (all frames pinned)")
+
+// In sharded mode an all-pinned shard is retried with exponential backoff
+// before giving up: pins are transient (B+tree descents and heap scans unpin
+// within microseconds), so a momentary pile-up on one shard — even one whose
+// pinner the scheduler has parked for a few milliseconds — must not fail the
+// caller. Exhaustion by genuinely leaked pins still errors once the full
+// backoff budget (~60 ms) is spent.
+const (
+	victimRetries    = 40
+	victimRetryDelay = 20 * time.Microsecond // doubled per attempt
+	victimRetryMax   = 2 * time.Millisecond
+)
+
+// victimBackoff is the sleep before retry number attempt.
+func victimBackoff(attempt int) time.Duration {
+	d := victimRetryDelay
+	for i := 0; i < attempt && d < victimRetryMax; i++ {
+		d *= 2
+	}
+	if d > victimRetryMax {
+		d = victimRetryMax
+	}
+	return d
+}
 
 // Frame is a buffer-pool slot holding one page image. Callers receive a
 // pinned *Frame from Fetch/NewPage and must Unpin it exactly once.
+//
+// Field synchronization: pid, valid, used, loading, and loadErr are guarded
+// by the owning shard's latch (loadErr is additionally published to load
+// waiters by the loading channel's close); pin, ref, and dirty are atomics
+// so the hit-side operations that only touch them — Unpin above all — never
+// take the latch. All pin *increments* happen under the shard latch, which
+// is what makes the latch-held "pin == 0, claim this frame" victim check
+// sound; decrements are latch-free.
 type Frame struct {
-	pid   PageID
-	data  []byte
-	dirty bool
-	pin   int
-	ref   bool  // clock reference bit
-	used  int64 // LRU timestamp
-	valid bool
+	pid     PageID
+	data    []byte
+	dirty   atomic.Bool
+	pin     atomic.Int32
+	ref     atomic.Bool // clock reference bit
+	used    int64       // LRU timestamp
+	valid   bool
+	loading chan struct{} // non-nil while a disk read is in flight; closed on publish
+	loadErr error         // valid once loading is closed
 }
 
 // PID returns the page this frame currently holds.
@@ -38,11 +75,34 @@ func (f *Frame) PID() PageID { return f.pid }
 // Data returns the frame's page image. Valid only while pinned.
 func (f *Frame) Data() []byte { return f.data }
 
-// BufStats aggregates buffer pool activity since the last reset.
+// BufStats aggregates buffer pool activity since the last reset. A fetch
+// that waits on another fetcher's in-flight read of the same page counts as
+// a hit: it cost no disk read of its own.
 type BufStats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+}
+
+// poolShard owns a partition of the page table and frame pool: its own
+// latch, clock hand, LRU tick, and counters. A page maps to exactly one
+// shard (hash(PageID) % Shards), so a frame in a shard only ever holds
+// pages of that shard and cross-shard coordination is never needed.
+type poolShard struct {
+	mu     sync.Mutex
+	frames []*Frame
+	table  map[PageID]*Frame
+	// flushing tracks eviction write-backs in flight off the latch: while a
+	// victim's dirty image is on its way to disk, a re-fetch of that page
+	// must wait here rather than read the stale on-disk bytes.
+	flushing map[PageID]chan struct{}
+	hand     int
+	tick     int64
+	policy   ReplacementPolicy
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 // BufferPool caches disk pages in a fixed number of PageSize frames, exactly
@@ -50,101 +110,299 @@ type BufStats struct {
 // for concurrent use; see the package doc for the page-content contract
 // (readers may share a pinned frame, writers of a page serialize externally,
 // distinct tables need no coordination).
+//
+// The pool is partitioned into Shards independent shards (Postgres buffer
+// mapping partitions, InnoDB buffer pool instances). With Shards == 1 — the
+// default — the pool keeps the seed engine's semantics: one latch, and a
+// miss holds it across the disk read, so misses serialize. With Shards > 1
+// each shard has its own latch and, on a miss, the victim frame is
+// published in a *loading* state and the latch is released before
+// disk.ReadPage runs: concurrent fetchers of the same page wait on that
+// frame (single-flight — exactly one physical read per page), while hits
+// and misses on every other page proceed untouched.
 type BufferPool struct {
-	mu     sync.Mutex
-	disk   DiskManager
-	frames []*Frame
-	table  map[PageID]*Frame
-	hand   int
-	tick   int64
-	policy ReplacementPolicy
-	stats  BufStats
+	disk    DiskManager
+	shards  []*poolShard
+	nframes atomic.Int64 // total frames; lock-free NumFrames, updated by Resize
 }
 
-// NewBufferPool creates a pool with the given number of frames (minimum 4).
+// NewBufferPool creates a single-shard pool with the given number of frames
+// (minimum 4) — the seed engine's semantics.
 func NewBufferPool(disk DiskManager, frames int) *BufferPool {
+	return NewBufferPoolSharded(disk, frames, 1)
+}
+
+// NewBufferPoolSharded creates a pool of `frames` total frames partitioned
+// into `shards` shards. Frames are distributed as evenly as possible, every
+// shard getting at least one; frames is raised to max(4, shards).
+func NewBufferPoolSharded(disk DiskManager, frames, shards int) *BufferPool {
+	if shards < 1 {
+		shards = 1
+	}
 	if frames < 4 {
 		frames = 4
 	}
-	bp := &BufferPool{
-		disk:  disk,
-		table: make(map[PageID]*Frame, frames),
+	if frames < shards {
+		frames = shards
 	}
-	bp.frames = make([]*Frame, frames)
-	for i := range bp.frames {
-		bp.frames[i] = &Frame{data: make([]byte, PageSize)}
+	bp := &BufferPool{disk: disk, shards: make([]*poolShard, shards)}
+	base, rem := frames/shards, frames%shards
+	for i := range bp.shards {
+		n := base
+		if i < rem {
+			n++
+		}
+		sh := &poolShard{
+			table:    make(map[PageID]*Frame, n),
+			flushing: make(map[PageID]chan struct{}),
+			frames:   make([]*Frame, n),
+		}
+		for j := range sh.frames {
+			sh.frames[j] = &Frame{data: make([]byte, PageSize)}
+		}
+		bp.shards[i] = sh
 	}
+	bp.nframes.Store(int64(frames))
 	return bp
 }
 
+// shard maps a page to its owning shard.
+func (bp *BufferPool) shard(pid PageID) *poolShard {
+	if len(bp.shards) == 1 {
+		return bp.shards[0]
+	}
+	// Fibonacci hashing: consecutive page ids (a heap chain, a B+tree built
+	// by appends) spread across shards instead of marching through one.
+	h := uint32(pid) * 0x9E3779B1
+	h ^= h >> 16
+	return bp.shards[h%uint32(len(bp.shards))]
+}
+
+// Shards returns the number of pool shards.
+func (bp *BufferPool) Shards() int { return len(bp.shards) }
+
 // SetPolicy selects the replacement policy (safe before heavy use).
 func (bp *BufferPool) SetPolicy(p ReplacementPolicy) {
-	bp.mu.Lock()
-	bp.policy = p
-	bp.mu.Unlock()
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		sh.policy = p
+		sh.mu.Unlock()
+	}
 }
 
 // Disk returns the underlying disk manager.
 func (bp *BufferPool) Disk() DiskManager { return bp.disk }
 
-// NumFrames returns the pool capacity in frames.
-func (bp *BufferPool) NumFrames() int {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return len(bp.frames)
+// NumFrames returns the pool capacity in frames, lock-free.
+func (bp *BufferPool) NumFrames() int { return int(bp.nframes.Load()) }
+
+// Stats returns the pool counters aggregated across shards.
+func (bp *BufferPool) Stats() BufStats {
+	var s BufStats
+	for _, sh := range bp.shards {
+		s.Hits += sh.hits.Load()
+		s.Misses += sh.misses.Load()
+		s.Evictions += sh.evictions.Load()
+	}
+	return s
 }
 
-// Stats returns a copy of the pool counters.
-func (bp *BufferPool) Stats() BufStats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.stats
+// ShardStats returns one BufStats per shard, in shard order — the skew view
+// behind the Stats() aggregate.
+func (bp *BufferPool) ShardStats() []BufStats {
+	out := make([]BufStats, len(bp.shards))
+	for i, sh := range bp.shards {
+		out[i] = BufStats{
+			Hits:      sh.hits.Load(),
+			Misses:    sh.misses.Load(),
+			Evictions: sh.evictions.Load(),
+		}
+	}
+	return out
 }
 
 // ResetStats zeroes the pool counters.
 func (bp *BufferPool) ResetStats() {
-	bp.mu.Lock()
-	bp.stats = BufStats{}
-	bp.mu.Unlock()
+	for _, sh := range bp.shards {
+		sh.hits.Store(0)
+		sh.misses.Store(0)
+		sh.evictions.Store(0)
+	}
 }
 
 // Fetch pins the frame holding pid, reading it from disk on a miss.
 func (bp *BufferPool) Fetch(pid PageID) (*Frame, error) {
-	bp.mu.Lock()
-	if f, ok := bp.table[pid]; ok {
-		f.pin++
-		f.ref = true
-		bp.tick++
-		f.used = bp.tick
-		bp.stats.Hits++
-		bp.mu.Unlock()
+	sh := bp.shard(pid)
+	if len(bp.shards) == 1 {
+		return bp.fetchSerial(sh, pid)
+	}
+	return bp.fetchOffLock(sh, pid)
+}
+
+// fetchSerial is the seed engine's miss discipline: the shard latch is held
+// across the disk read, so misses serialize behind one another (hits do not
+// pay for this). Kept verbatim as the Shards == 1 mode — both the
+// compatibility mode and the baseline the pool-scaling study measures
+// sharding against.
+func (bp *BufferPool) fetchSerial(sh *poolShard, pid PageID) (*Frame, error) {
+	sh.mu.Lock()
+	if f, ok := sh.table[pid]; ok {
+		f.pin.Add(1)
+		f.ref.Store(true)
+		sh.tick++
+		f.used = sh.tick
+		sh.hits.Add(1)
+		sh.mu.Unlock()
 		return f, nil
 	}
-	bp.stats.Misses++
-	f, err := bp.victimLocked()
+	sh.misses.Add(1)
+	f, err := sh.victimFlushLocked(bp.disk)
 	if err != nil {
-		bp.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, err
 	}
 	// Reserve the frame for pid before the disk read so a concurrent caller
-	// cannot steal it; the pool mutex is held across the read for simplicity,
-	// which serializes misses (hits do not pay for this).
+	// cannot steal it; the shard latch is held across the read for exact
+	// seed-pool semantics.
 	f.pid = pid
 	f.valid = true
-	f.dirty = false
-	f.pin = 1
-	f.ref = true
-	bp.tick++
-	f.used = bp.tick
-	bp.table[pid] = f
+	f.dirty.Store(false)
+	f.pin.Store(1)
+	f.ref.Store(true)
+	sh.tick++
+	f.used = sh.tick
+	sh.table[pid] = f
 	if err := bp.disk.ReadPage(pid, f.data); err != nil {
-		delete(bp.table, pid)
+		delete(sh.table, pid)
 		f.valid = false
-		f.pin = 0
-		bp.mu.Unlock()
+		f.pin.Store(0)
+		sh.mu.Unlock()
 		return nil, err
 	}
-	bp.mu.Unlock()
+	sh.mu.Unlock()
+	return f, nil
+}
+
+// fetchOffLock is the sharded miss protocol: claim a victim, publish it in
+// loading state, release the latch, write back the victim's dirty image and
+// read the new page, then publish the result. Concurrent fetchers of the
+// same page wait on the loading frame; everything else proceeds.
+func (bp *BufferPool) fetchOffLock(sh *poolShard, pid PageID) (*Frame, error) {
+	var f *Frame
+	for attempt := 0; ; attempt++ {
+		sh.mu.Lock()
+		for {
+			if g, ok := sh.table[pid]; ok {
+				if ch := g.loading; ch != nil {
+					// Single-flight: another fetcher's read of pid is in
+					// flight. Pin now — under the latch, so the frame cannot
+					// be victimized — then wait off-latch for the publish.
+					g.pin.Add(1)
+					sh.mu.Unlock()
+					<-ch
+					if err := g.loadErr; err != nil {
+						g.pin.Add(-1)
+						return nil, err
+					}
+					g.ref.Store(true)
+					sh.hits.Add(1)
+					return g, nil
+				}
+				g.pin.Add(1)
+				g.ref.Store(true)
+				sh.tick++
+				g.used = sh.tick
+				sh.hits.Add(1)
+				sh.mu.Unlock()
+				return g, nil
+			}
+			ch, busy := sh.flushing[pid]
+			if !busy {
+				break
+			}
+			// pid's latest bytes are still being written back by an
+			// eviction; reading the on-disk image now would resurrect the
+			// stale version. Wait for the flush, then re-check residency.
+			sh.mu.Unlock()
+			<-ch
+			sh.mu.Lock()
+		}
+		f = sh.pickVictimLocked()
+		if f != nil {
+			break // latch still held
+		}
+		sh.mu.Unlock()
+		if attempt >= victimRetries {
+			return nil, ErrPoolExhausted
+		}
+		time.Sleep(victimBackoff(attempt))
+	}
+	sh.misses.Add(1)
+	oldPid := f.pid
+	oldDirty := f.valid && f.dirty.Load()
+	if f.valid {
+		sh.evictions.Add(1)
+		delete(sh.table, oldPid)
+	}
+	var flushCh chan struct{}
+	if oldDirty {
+		flushCh = make(chan struct{})
+		sh.flushing[oldPid] = flushCh
+	}
+	loadCh := make(chan struct{})
+	f.pid = pid
+	f.valid = true
+	f.dirty.Store(false)
+	f.pin.Store(1)
+	f.ref.Store(true)
+	sh.tick++
+	f.used = sh.tick
+	f.loading = loadCh
+	f.loadErr = nil
+	sh.table[pid] = f
+	sh.mu.Unlock()
+
+	if oldDirty {
+		if err := bp.disk.WritePage(oldPid, f.data); err != nil {
+			// The victim's bytes are intact in the frame; remap it under its
+			// old identity so the dirty page is not lost, and fail the load
+			// (waiters observe loadErr and drop their pins).
+			sh.mu.Lock()
+			delete(sh.table, pid)
+			delete(sh.flushing, oldPid)
+			sh.table[oldPid] = f
+			f.pid = oldPid
+			f.valid = true
+			f.dirty.Store(true)
+			f.loading = nil
+			f.loadErr = err
+			f.pin.Add(-1)
+			sh.mu.Unlock()
+			close(flushCh)
+			close(loadCh)
+			return nil, err
+		}
+	}
+	rerr := bp.disk.ReadPage(pid, f.data)
+	sh.mu.Lock()
+	if oldDirty {
+		delete(sh.flushing, oldPid)
+	}
+	f.loading = nil
+	f.loadErr = rerr
+	if rerr != nil {
+		delete(sh.table, pid)
+		f.valid = false
+		f.pin.Add(-1)
+	}
+	sh.mu.Unlock()
+	if oldDirty {
+		close(flushCh)
+	}
+	close(loadCh)
+	if rerr != nil {
+		return nil, rerr
+	}
 	return f, nil
 }
 
@@ -154,23 +412,113 @@ func (bp *BufferPool) NewPage() (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	f, err := bp.victimLocked()
-	if err != nil {
-		return nil, err
+	sh := bp.shard(pid)
+	if len(bp.shards) == 1 {
+		sh.mu.Lock()
+		f, err := sh.victimFlushLocked(bp.disk)
+		if err != nil {
+			sh.mu.Unlock()
+			return nil, err
+		}
+		clear(f.data)
+		f.pid = pid
+		f.valid = true
+		f.dirty.Store(true)
+		f.pin.Store(1)
+		f.ref.Store(true)
+		sh.tick++
+		f.used = sh.tick
+		sh.table[pid] = f
+		sh.mu.Unlock()
+		return f, nil
 	}
-	for i := range f.data {
-		f.data[i] = 0
+	return bp.newPageOffLock(sh, pid)
+}
+
+// newPageOffLock claims a victim for a freshly allocated page and does the
+// victim write-back and zeroing off the latch, mirroring fetchOffLock. The
+// frame passes through the loading state so a (pathological) concurrent
+// Fetch of the new pid waits rather than double-claims.
+func (bp *BufferPool) newPageOffLock(sh *poolShard, pid PageID) (*Frame, error) {
+	var f *Frame
+	for attempt := 0; ; attempt++ {
+		sh.mu.Lock()
+		for {
+			// A reallocated pid may still have its previous incarnation's
+			// eviction write-back in flight; let it land first so it cannot
+			// overwrite the new page's image later.
+			ch, busy := sh.flushing[pid]
+			if !busy {
+				break
+			}
+			sh.mu.Unlock()
+			<-ch
+			sh.mu.Lock()
+		}
+		f = sh.pickVictimLocked()
+		if f != nil {
+			break
+		}
+		sh.mu.Unlock()
+		if attempt >= victimRetries {
+			return nil, ErrPoolExhausted
+		}
+		time.Sleep(victimBackoff(attempt))
 	}
+	// No miss counted: NewPage never reads, matching the serial pool.
+	oldPid := f.pid
+	oldDirty := f.valid && f.dirty.Load()
+	if f.valid {
+		sh.evictions.Add(1)
+		delete(sh.table, oldPid)
+	}
+	var flushCh chan struct{}
+	if oldDirty {
+		flushCh = make(chan struct{})
+		sh.flushing[oldPid] = flushCh
+	}
+	loadCh := make(chan struct{})
 	f.pid = pid
 	f.valid = true
-	f.dirty = true
-	f.pin = 1
-	f.ref = true
-	bp.tick++
-	f.used = bp.tick
-	bp.table[pid] = f
+	f.dirty.Store(true)
+	f.pin.Store(1)
+	f.ref.Store(true)
+	sh.tick++
+	f.used = sh.tick
+	f.loading = loadCh
+	f.loadErr = nil
+	sh.table[pid] = f
+	sh.mu.Unlock()
+
+	if oldDirty {
+		if err := bp.disk.WritePage(oldPid, f.data); err != nil {
+			sh.mu.Lock()
+			delete(sh.table, pid)
+			delete(sh.flushing, oldPid)
+			sh.table[oldPid] = f
+			f.pid = oldPid
+			f.valid = true
+			f.dirty.Store(true)
+			f.loading = nil
+			f.loadErr = err
+			f.pin.Add(-1)
+			sh.mu.Unlock()
+			close(flushCh)
+			close(loadCh)
+			return nil, err
+		}
+	}
+	clear(f.data)
+	sh.mu.Lock()
+	if oldDirty {
+		delete(sh.flushing, oldPid)
+	}
+	f.loading = nil
+	sh.mu.Unlock()
+	if oldDirty {
+		close(flushCh)
+	}
+	close(loadCh)
 	return f, nil
 }
 
@@ -179,127 +527,177 @@ func (bp *BufferPool) NewPage() (*Frame, error) {
 // dead, and a later flush would race with whoever reuses the page. Freeing
 // a pinned page is an error (some iterator still holds it).
 func (bp *BufferPool) FreePage(pid PageID) error {
-	bp.mu.Lock()
-	if f, ok := bp.table[pid]; ok {
-		if f.pin > 0 {
-			bp.mu.Unlock()
+	sh := bp.shard(pid)
+	sh.mu.Lock()
+	for {
+		// An eviction may still be writing pid's old image back; let it
+		// finish, or the disk manager would see a write of a freed page.
+		ch, busy := sh.flushing[pid]
+		if !busy {
+			break
+		}
+		sh.mu.Unlock()
+		<-ch
+		sh.mu.Lock()
+	}
+	if f, ok := sh.table[pid]; ok {
+		if f.pin.Load() > 0 {
+			sh.mu.Unlock()
 			return fmt.Errorf("relstore: free of pinned page %d", pid)
 		}
-		delete(bp.table, pid)
+		delete(sh.table, pid)
 		f.valid = false
-		f.dirty = false
+		f.dirty.Store(false)
 	}
-	bp.mu.Unlock()
+	sh.mu.Unlock()
 	return bp.disk.Free(pid)
 }
 
 // Unpin releases one pin on f, marking the page dirty if it was modified.
+// It is latch-free: the dirty bit and pin count are atomics, and the store
+// order (dirty before pin) is what lets an evictor that observes pin == 0
+// under the shard latch also observe the dirty bit and the page bytes the
+// pinner wrote.
 func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
-	bp.mu.Lock()
-	if f.pin <= 0 {
-		bp.mu.Unlock()
+	if dirty {
+		f.dirty.Store(true)
+	}
+	if f.pin.Add(-1) < 0 {
 		panic(fmt.Sprintf("relstore: unpin of unpinned page %d", f.pid))
 	}
-	f.pin--
-	if dirty {
-		f.dirty = true
-	}
-	bp.mu.Unlock()
 }
 
-// victimLocked finds an unpinned frame, flushing it if dirty.
-func (bp *BufferPool) victimLocked() (*Frame, error) {
-	var f *Frame
-	switch bp.policy {
+// pickVictimLocked finds an unpinned frame by the shard's policy, without
+// flushing or invalidating it. Caller holds sh.mu. Returns nil if every
+// frame is pinned.
+func (sh *poolShard) pickVictimLocked() *Frame {
+	switch sh.policy {
 	case PolicyLRU:
 		var best *Frame
-		for _, c := range bp.frames {
-			if c.pin > 0 {
+		for _, c := range sh.frames {
+			if c.pin.Load() > 0 {
 				continue
 			}
 			if !c.valid {
-				best = c
-				break
+				return c
 			}
 			if best == nil || c.used < best.used {
 				best = c
 			}
 		}
-		f = best
+		return best
 	default: // clock
-		n := len(bp.frames)
+		n := len(sh.frames)
 		for i := 0; i < 2*n+1; i++ {
-			c := bp.frames[bp.hand]
-			bp.hand = (bp.hand + 1) % n
-			if c.pin > 0 {
+			c := sh.frames[sh.hand]
+			sh.hand = (sh.hand + 1) % n
+			if c.pin.Load() > 0 {
 				continue
 			}
 			if !c.valid {
-				f = c
-				break
+				return c
 			}
-			if c.ref {
-				c.ref = false
+			if c.ref.Load() {
+				c.ref.Store(false)
 				continue
 			}
-			f = c
-			break
+			return c
 		}
+		return nil
 	}
+}
+
+// victimFlushLocked picks a victim and, if dirty, writes it back while
+// holding the shard latch — the serial (Shards == 1) eviction.
+func (sh *poolShard) victimFlushLocked(disk DiskManager) (*Frame, error) {
+	f := sh.pickVictimLocked()
 	if f == nil {
 		return nil, ErrPoolExhausted
 	}
 	if f.valid {
-		bp.stats.Evictions++
-		if f.dirty {
-			if err := bp.disk.WritePage(f.pid, f.data); err != nil {
+		sh.evictions.Add(1)
+		if f.dirty.Load() {
+			if err := disk.WritePage(f.pid, f.data); err != nil {
 				return nil, err
 			}
 		}
-		delete(bp.table, f.pid)
+		delete(sh.table, f.pid)
 		f.valid = false
 	}
 	return f, nil
 }
 
-// FlushAll writes every dirty resident page back to disk.
+// FlushAll writes every dirty resident page back to disk. Frames mid-load
+// (sharded misses in flight) are skipped: their images are owned by the
+// loader and are not dirty yet.
 func (bp *BufferPool) FlushAll() error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for _, f := range bp.frames {
-		if f.valid && f.dirty {
-			if err := bp.disk.WritePage(f.pid, f.data); err != nil {
-				return err
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.loading != nil {
+				continue
 			}
-			f.dirty = false
+			if f.valid && f.dirty.Load() {
+				if err := bp.disk.WritePage(f.pid, f.data); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				f.dirty.Store(false)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
 
-// Resize flushes the pool and rebuilds it with n frames. Used by the
-// Figure 8(b) memory-scaling sweep. All pages must be unpinned.
+// Resize flushes the pool and rebuilds it with n total frames (same shard
+// count). Used by the Figure 8(b) memory-scaling sweep and to cool the pool
+// between benchmark phases. All pages must be unpinned; callers quiesce the
+// pool first, and any straggling eviction write-backs are drained.
 func (bp *BufferPool) Resize(n int) error {
 	if n < 4 {
 		n = 4
 	}
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for _, f := range bp.frames {
-		if f.pin > 0 {
-			return fmt.Errorf("relstore: resize with pinned page %d", f.pid)
+	if n < len(bp.shards) {
+		n = len(bp.shards)
+	}
+	base, rem := n/len(bp.shards), n%len(bp.shards)
+	for i, sh := range bp.shards {
+		sh.mu.Lock()
+		for len(sh.flushing) > 0 {
+			var ch chan struct{}
+			for _, c := range sh.flushing {
+				ch = c
+				break
+			}
+			sh.mu.Unlock()
+			<-ch
+			sh.mu.Lock()
 		}
-		if f.valid && f.dirty {
-			if err := bp.disk.WritePage(f.pid, f.data); err != nil {
-				return err
+		for _, f := range sh.frames {
+			if f.pin.Load() > 0 {
+				sh.mu.Unlock()
+				return fmt.Errorf("relstore: resize with pinned page %d", f.pid)
+			}
+			if f.valid && f.dirty.Load() {
+				if err := bp.disk.WritePage(f.pid, f.data); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
 			}
 		}
+		cnt := base
+		if i < rem {
+			cnt++
+		}
+		sh.frames = make([]*Frame, cnt)
+		for j := range sh.frames {
+			sh.frames[j] = &Frame{data: make([]byte, PageSize)}
+		}
+		sh.table = make(map[PageID]*Frame, cnt)
+		sh.hand = 0
+		sh.mu.Unlock()
 	}
-	bp.frames = make([]*Frame, n)
-	for i := range bp.frames {
-		bp.frames[i] = &Frame{data: make([]byte, PageSize)}
-	}
-	bp.table = make(map[PageID]*Frame, n)
-	bp.hand = 0
+	bp.nframes.Store(int64(n))
 	return nil
 }

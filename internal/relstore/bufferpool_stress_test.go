@@ -3,32 +3,323 @@ package relstore
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // These tests exercise the BufferPool's concurrency contract (see the
 // package doc): the pool itself is safe for concurrent Fetch/NewPage/Unpin
 // from any number of goroutines; page *contents* may be written while
 // pinned only by one owner at a time (here, each goroutine writes only
-// pages it allocated) and read freely by concurrent pinners. Run with
-// -race: the CI workflow does.
+// pages it owns) and read freely by concurrent pinners. Each suite runs at
+// Shards=1 (the seed pool's serial-miss semantics) and at several sharded
+// widths (off-latch miss I/O, the loading-frame protocol). Run with -race:
+// the CI workflow does.
+
+var stressShardCounts = []int{1, 4, 16}
 
 // TestBufferPoolConcurrentStress has every goroutine allocate pages, write
 // a recognizable pattern, unpin dirty, then re-fetch and verify — under
 // heavy eviction traffic from a pool much smaller than the page population.
 func TestBufferPoolConcurrentStress(t *testing.T) {
+	for _, shards := range stressShardCounts {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			const (
+				goroutines = 8
+				pagesEach  = 40
+				rounds     = 3
+			)
+			disk := NewMemDisk()
+			bp := NewBufferPoolSharded(disk, 16, shards) // far fewer frames than live pages
+
+			stamp := func(buf []byte, g, i, r int) {
+				binary.LittleEndian.PutUint64(buf[0:], uint64(g)<<40|uint64(i)<<16|uint64(r))
+			}
+
+			var wg sync.WaitGroup
+			errCh := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					pids := make([]PageID, 0, pagesEach)
+					for i := 0; i < pagesEach; i++ {
+						f, err := bp.NewPage()
+						if err != nil {
+							errCh <- err
+							return
+						}
+						stamp(f.Data(), g, i, 0)
+						pid := f.PID()
+						bp.Unpin(f, true)
+						pids = append(pids, pid)
+					}
+					for r := 1; r <= rounds; r++ {
+						for i, pid := range pids {
+							f, err := bp.Fetch(pid)
+							if err != nil {
+								errCh <- err
+								return
+							}
+							var want [8]byte
+							stamp(want[:], g, i, r-1)
+							if got := binary.LittleEndian.Uint64(f.Data()); got != binary.LittleEndian.Uint64(want[:]) {
+								bp.Unpin(f, false)
+								errCh <- errors.New("page content corrupted across eviction")
+								return
+							}
+							stamp(f.Data(), g, i, r)
+							bp.Unpin(f, true)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errCh)
+			if err := <-errCh; err != nil {
+				t.Fatal(err)
+			}
+			if st := bp.Stats(); st.Evictions == 0 {
+				t.Fatal("stress ran without evictions; pool too large to test replacement")
+			}
+		})
+	}
+}
+
+// TestBufferPoolSharedReaders pins one hot page from many goroutines
+// simultaneously (concurrent read-only pinners of the same frame are part
+// of the contract) while background goroutines churn other pages through
+// the pool.
+func TestBufferPoolSharedReaders(t *testing.T) {
+	for _, shards := range stressShardCounts {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			disk := NewMemDisk()
+			bp := NewBufferPoolSharded(disk, 8, shards)
+
+			hot, err := bp.NewPage()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range hot.Data() {
+				hot.Data()[i] = byte(i)
+			}
+			hotPID := hot.PID()
+			bp.Unpin(hot, true)
+
+			var wg sync.WaitGroup
+			errCh := make(chan error, 12)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						f, err := bp.Fetch(hotPID)
+						if err != nil {
+							errCh <- err
+							return
+						}
+						if f.Data()[1] != 1 || f.Data()[255] != 255 {
+							bp.Unpin(f, false)
+							errCh <- errors.New("hot page content wrong")
+							return
+						}
+						bp.Unpin(f, false)
+					}
+				}()
+			}
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 60; i++ {
+						f, err := bp.NewPage()
+						if err != nil {
+							errCh <- err
+							return
+						}
+						f.Data()[0] = byte(i)
+						bp.Unpin(f, true)
+					}
+				}()
+			}
+			wg.Wait()
+			close(errCh)
+			if err := <-errCh; err != nil {
+				t.Fatal(err)
+			}
+			if st := bp.Stats(); st.Evictions == 0 {
+				t.Fatal("reader/churn mix ran without evictions; pool too large")
+			}
+		})
+	}
+}
+
+// TestBufferPoolConcurrentTables drives two independent B+trees (as two
+// crawler shards do) from two goroutines over one shared pool — the exact
+// access pattern the sharded frontier relies on.
+func TestBufferPoolConcurrentTables(t *testing.T) {
+	for _, shards := range stressShardCounts {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			disk := NewMemDisk()
+			// Far fewer frames than the trees' ~20 pages, so frames are stolen
+			// back and forth between the two trees mid-run (but comfortably more
+			// than the pages both writers can pin at once).
+			bp := NewBufferPoolSharded(disk, 12, shards)
+
+			var wg sync.WaitGroup
+			errCh := make(chan error, 2)
+			for g := 0; g < 2; g++ {
+				tree, err := NewBTree(bp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(g int, tree *BTree) {
+					defer wg.Done()
+					for i := 0; i < 800; i++ {
+						k := EncodeKey(I64(int64(g)), I64(int64(i)))
+						if err := tree.Insert(k, EncodeRID(RID{Page: PageID(i + 1), Slot: uint16(g)})); err != nil {
+							errCh <- err
+							return
+						}
+					}
+					for i := 0; i < 800; i++ {
+						k := EncodeKey(I64(int64(g)), I64(int64(i)))
+						v, ok, err := tree.Get(k)
+						if err != nil || !ok {
+							errCh <- errors.New("lost key after concurrent inserts")
+							return
+						}
+						rid, err := DecodeRID(v)
+						if err != nil || rid.Page != PageID(i+1) {
+							errCh <- errors.New("wrong value after concurrent inserts")
+							return
+						}
+					}
+				}(g, tree)
+			}
+			wg.Wait()
+			close(errCh)
+			if err := <-errCh; err != nil {
+				t.Fatal(err)
+			}
+			if st := bp.Stats(); st.Evictions == 0 {
+				t.Fatal("cross-table run without evictions; pool too large to test frame stealing")
+			}
+		})
+	}
+}
+
+// TestBufferPoolSingleFlightStress pins the sharded miss protocol's
+// single-flight guarantee: N goroutines Fetch the same cold page
+// concurrently, and exactly one DiskManager.ReadPage happens — the first
+// fetcher publishes the frame in loading state and reads off-latch, the
+// rest wait on that frame and share the one physical read. Everyone sees
+// the same frame with identical bytes.
+func TestBufferPoolSingleFlightStress(t *testing.T) {
+	for _, shards := range []int{2, 4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			const fetchers = 16
+			disk := NewMemDisk()
+			pid, err := disk.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]byte, PageSize)
+			for i := range want {
+				want[i] = byte(i * 7)
+			}
+			if err := disk.WritePage(pid, want); err != nil {
+				t.Fatal(err)
+			}
+			bp := NewBufferPoolSharded(disk, 64, shards)
+			disk.Stats().Reset()
+			// Widen the loading window so most fetchers really do arrive
+			// while the read is in flight (correctness must not depend on
+			// it — latecomers are plain hits and the counts still hold).
+			disk.SetLatency(200 * time.Microsecond)
+
+			start := make(chan struct{})
+			frames := make([]*Frame, fetchers)
+			errCh := make(chan error, fetchers)
+			var wg sync.WaitGroup
+			for g := 0; g < fetchers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					<-start
+					f, err := bp.Fetch(pid)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					for i, b := range f.Data() {
+						if b != want[i] {
+							bp.Unpin(f, false)
+							errCh <- fmt.Errorf("fetcher %d: byte %d = %d, want %d", g, i, b, want[i])
+							return
+						}
+					}
+					frames[g] = f
+					bp.Unpin(f, false)
+				}(g)
+			}
+			close(start)
+			wg.Wait()
+			disk.SetLatency(0)
+			close(errCh)
+			if err := <-errCh; err != nil {
+				t.Fatal(err)
+			}
+			if r, _ := disk.Stats().Snapshot(); r != 1 {
+				t.Fatalf("disk reads = %d, want exactly 1 (single-flight)", r)
+			}
+			for g := 1; g < fetchers; g++ {
+				if frames[g] != frames[0] {
+					t.Fatalf("fetcher %d got a different frame", g)
+				}
+			}
+			st := bp.Stats()
+			if st.Misses != 1 || st.Hits != fetchers-1 {
+				t.Fatalf("stats = %+v, want 1 miss and %d hits", st, fetchers-1)
+			}
+		})
+	}
+}
+
+// TestBufferPoolCrossShardMissStress churns concurrent misses across every
+// shard of a pool far smaller than the page population, with dirty pages
+// so the off-latch victim write-back path (and the flushing-wait on
+// re-fetch of a page whose flush is in flight) is constantly exercised.
+// Each goroutine owns a disjoint set of pages (the page-content contract);
+// contents must round-trip through eviction exactly.
+func TestBufferPoolCrossShardMissStress(t *testing.T) {
 	const (
 		goroutines = 8
-		pagesEach  = 40
-		rounds     = 3
+		pages      = 256
+		rounds     = 4
 	)
 	disk := NewMemDisk()
-	bp := NewBufferPool(disk, 16) // far fewer frames than live pages
-
-	stamp := func(buf []byte, g, i, r int) {
-		binary.LittleEndian.PutUint64(buf[0:], uint64(g)<<40|uint64(i)<<16|uint64(r))
+	stamp := func(buf []byte, pid PageID, r int) {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(pid)<<16|uint64(r))
+		binary.LittleEndian.PutUint64(buf[PageSize-8:], uint64(pid)<<16|uint64(r))
 	}
+	pids := make([]PageID, pages)
+	buf := make([]byte, PageSize)
+	for i := range pids {
+		pid, err := disk.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stamp(buf, pid, 0)
+		if err := disk.WritePage(pid, buf); err != nil {
+			t.Fatal(err)
+		}
+		pids[i] = pid
+	}
+	bp := NewBufferPoolSharded(disk, 32, 8)
 
 	var wg sync.WaitGroup
 	errCh := make(chan error, goroutines)
@@ -36,33 +327,33 @@ func TestBufferPoolConcurrentStress(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			pids := make([]PageID, 0, pagesEach)
-			for i := 0; i < pagesEach; i++ {
-				f, err := bp.NewPage()
-				if err != nil {
-					errCh <- err
-					return
-				}
-				stamp(f.Data(), g, i, 0)
-				pid := f.PID()
-				bp.Unpin(f, true)
-				pids = append(pids, pid)
-			}
 			for r := 1; r <= rounds; r++ {
-				for i, pid := range pids {
+				// Walk the owned pages at a stride so neighbours in the
+				// fetch order land in different shards and rounds collide
+				// with other goroutines' evictions.
+				for k := 0; k < pages; k++ {
+					i := (k*37 + g*13) % pages
+					if i%goroutines != g {
+						continue
+					}
+					pid := pids[i]
 					f, err := bp.Fetch(pid)
 					if err != nil {
 						errCh <- err
 						return
 					}
-					var want [8]byte
-					stamp(want[:], g, i, r-1)
-					if got := binary.LittleEndian.Uint64(f.Data()); got != binary.LittleEndian.Uint64(want[:]) {
+					wantHdr := uint64(pid)<<16 | uint64(r-1)
+					if got := binary.LittleEndian.Uint64(f.Data()); got != wantHdr {
 						bp.Unpin(f, false)
-						errCh <- errors.New("page content corrupted across eviction")
+						errCh <- fmt.Errorf("page %d round %d: header %x, want %x", pid, r, got, wantHdr)
 						return
 					}
-					stamp(f.Data(), g, i, r)
+					if got := binary.LittleEndian.Uint64(f.Data()[PageSize-8:]); got != wantHdr {
+						bp.Unpin(f, false)
+						errCh <- fmt.Errorf("page %d round %d: trailer torn", pid, r)
+						return
+					}
+					stamp(f.Data(), pid, r)
 					bp.Unpin(f, true)
 				}
 			}
@@ -73,123 +364,85 @@ func TestBufferPoolConcurrentStress(t *testing.T) {
 	if err := <-errCh; err != nil {
 		t.Fatal(err)
 	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, pid := range pids {
+		if err := disk.ReadPage(pid, buf); err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(pid)<<16 | uint64(rounds)
+		if got := binary.LittleEndian.Uint64(buf); got != want {
+			t.Fatalf("page %d after flush: %x, want %x", pid, got, want)
+		}
+	}
 	if st := bp.Stats(); st.Evictions == 0 {
-		t.Fatal("stress ran without evictions; pool too large to test replacement")
+		t.Fatal("cross-shard stress ran without evictions")
 	}
 }
 
-// TestBufferPoolSharedReaders pins one hot page from many goroutines
-// simultaneously (concurrent read-only pinners of the same frame are part
-// of the contract) while background goroutines churn other pages through
-// the pool.
-func TestBufferPoolSharedReaders(t *testing.T) {
+// TestBufferPoolShardExhaustion pins every frame of one shard and checks
+// that a further miss in that shard fails with ErrPoolExhausted while the
+// other shards keep serving, and that the shard recovers once a pin drops.
+func TestBufferPoolShardExhaustion(t *testing.T) {
 	disk := NewMemDisk()
-	bp := NewBufferPool(disk, 8)
-
-	hot, err := bp.NewPage()
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range hot.Data() {
-		hot.Data()[i] = byte(i)
-	}
-	hotPID := hot.PID()
-	bp.Unpin(hot, true)
-
-	var wg sync.WaitGroup
-	errCh := make(chan error, 12)
-	for g := 0; g < 8; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < 200; i++ {
-				f, err := bp.Fetch(hotPID)
-				if err != nil {
-					errCh <- err
-					return
-				}
-				if f.Data()[1] != 1 || f.Data()[255] != 255 {
-					bp.Unpin(f, false)
-					errCh <- errors.New("hot page content wrong")
-					return
-				}
-				bp.Unpin(f, false)
-			}
-		}()
-	}
-	for g := 0; g < 4; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < 60; i++ {
-				f, err := bp.NewPage()
-				if err != nil {
-					errCh <- err
-					return
-				}
-				f.Data()[0] = byte(i)
-				bp.Unpin(f, true)
-			}
-		}()
-	}
-	wg.Wait()
-	close(errCh)
-	if err := <-errCh; err != nil {
-		t.Fatal(err)
-	}
-	if st := bp.Stats(); st.Evictions == 0 {
-		t.Fatal("reader/churn mix ran without evictions; pool too large")
-	}
-}
-
-// TestBufferPoolConcurrentTables drives two independent B+trees (as two
-// crawler shards do) from two goroutines over one shared pool — the exact
-// access pattern the sharded frontier relies on.
-func TestBufferPoolConcurrentTables(t *testing.T) {
-	disk := NewMemDisk()
-	// Far fewer frames than the trees' ~20 pages, so frames are stolen
-	// back and forth between the two trees mid-run (but comfortably more
-	// than the pages both writers can pin at once).
-	bp := NewBufferPool(disk, 12)
-
-	var wg sync.WaitGroup
-	errCh := make(chan error, 2)
-	for g := 0; g < 2; g++ {
-		tree, err := NewBTree(bp)
+	bp := NewBufferPoolSharded(disk, 8, 4) // 2 frames per shard
+	buf := make([]byte, PageSize)
+	// Allocate pages directly until one shard has three and some other
+	// shard has at least one.
+	byShard := make(map[*poolShard][]PageID)
+	var target *poolShard
+	for target == nil {
+		pid, err := disk.Allocate()
 		if err != nil {
 			t.Fatal(err)
 		}
-		wg.Add(1)
-		go func(g int, tree *BTree) {
-			defer wg.Done()
-			for i := 0; i < 800; i++ {
-				k := EncodeKey(I64(int64(g)), I64(int64(i)))
-				if err := tree.Insert(k, EncodeRID(RID{Page: PageID(i + 1), Slot: uint16(g)})); err != nil {
-					errCh <- err
-					return
-				}
+		if err := disk.WritePage(pid, buf); err != nil {
+			t.Fatal(err)
+		}
+		byShard[bp.shard(pid)] = append(byShard[bp.shard(pid)], pid)
+		if len(byShard) < 2 {
+			continue
+		}
+		for sh, ps := range byShard {
+			if len(ps) >= 3 {
+				target = sh
 			}
-			for i := 0; i < 800; i++ {
-				k := EncodeKey(I64(int64(g)), I64(int64(i)))
-				v, ok, err := tree.Get(k)
-				if err != nil || !ok {
-					errCh <- errors.New("lost key after concurrent inserts")
-					return
-				}
-				rid, err := DecodeRID(v)
-				if err != nil || rid.Page != PageID(i+1) {
-					errCh <- errors.New("wrong value after concurrent inserts")
-					return
-				}
-			}
-		}(g, tree)
+		}
 	}
-	wg.Wait()
-	close(errCh)
-	if err := <-errCh; err != nil {
+	var other PageID
+	for sh, ps := range byShard {
+		if sh != target {
+			other = ps[0]
+			break
+		}
+	}
+	want := byShard[target]
+	a, err := bp.Fetch(want[0])
+	if err != nil {
 		t.Fatal(err)
 	}
-	if st := bp.Stats(); st.Evictions == 0 {
-		t.Fatal("cross-table run without evictions; pool too large to test frame stealing")
+	b, err := bp.Fetch(want[1])
+	if err != nil {
+		t.Fatal(err)
 	}
+	// The target shard's two frames are pinned: a third page of that shard
+	// has nowhere to go.
+	if _, err := bp.Fetch(want[2]); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("err = %v, want ErrPoolExhausted", err)
+	}
+	// Other shards are untouched by the exhaustion.
+	f, err := bp.Fetch(other)
+	if err != nil {
+		t.Fatalf("other shard: %v", err)
+	}
+	bp.Unpin(f, false)
+	// Dropping one pin frees a frame for the blocked page.
+	bp.Unpin(b, false)
+	f, err = bp.Fetch(want[2])
+	if err != nil {
+		t.Fatalf("after unpin: %v", err)
+	}
+	bp.Unpin(f, false)
+	bp.Unpin(a, false)
 }

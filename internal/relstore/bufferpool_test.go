@@ -208,3 +208,91 @@ func TestMemDiskZeroFill(t *testing.T) {
 		t.Fatal("never-written page not zero-filled")
 	}
 }
+
+func TestBufferPoolShardedRoundTrip(t *testing.T) {
+	disk := NewMemDisk()
+	bp := NewBufferPoolSharded(disk, 10, 4)
+	if bp.Shards() != 4 {
+		t.Fatalf("Shards = %d", bp.Shards())
+	}
+	if bp.NumFrames() != 10 {
+		t.Fatalf("NumFrames = %d", bp.NumFrames())
+	}
+	var pids []PageID
+	for i := 0; i < 40; i++ {
+		f, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Data()[0] = byte(i + 1)
+		pids = append(pids, f.PID())
+		bp.Unpin(f, true)
+	}
+	for i, pid := range pids {
+		f, err := bp.Fetch(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data()[0] != byte(i+1) {
+			t.Fatalf("page %d corrupted across sharded eviction", pid)
+		}
+		bp.Unpin(f, false)
+	}
+	st := bp.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions in sharded round trip; pool too large")
+	}
+	// Per-shard counters must sum to the aggregate.
+	var sum BufStats
+	for _, s := range bp.ShardStats() {
+		sum.Hits += s.Hits
+		sum.Misses += s.Misses
+		sum.Evictions += s.Evictions
+	}
+	if sum != st {
+		t.Fatalf("ShardStats sum %+v != Stats %+v", sum, st)
+	}
+	// Resize redistributes frames across the same shards and keeps data.
+	if err := bp.Resize(6); err != nil {
+		t.Fatal(err)
+	}
+	if bp.NumFrames() != 6 {
+		t.Fatalf("NumFrames after resize = %d", bp.NumFrames())
+	}
+	for i, pid := range pids {
+		f, err := bp.Fetch(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data()[0] != byte(i+1) {
+			t.Fatalf("page %d corrupted after sharded resize", pid)
+		}
+		bp.Unpin(f, false)
+	}
+}
+
+func TestBufferPoolShardedLRUPolicy(t *testing.T) {
+	disk := NewMemDisk()
+	bp := NewBufferPoolSharded(disk, 8, 4)
+	bp.SetPolicy(PolicyLRU)
+	var pids []PageID
+	for i := 0; i < 24; i++ {
+		f, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Data()[0] = byte(i + 1)
+		pids = append(pids, f.PID())
+		bp.Unpin(f, true)
+	}
+	for i, pid := range pids {
+		f, err := bp.Fetch(pid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data()[0] != byte(i+1) {
+			t.Fatalf("sharded LRU pool corrupted page %d", pid)
+		}
+		bp.Unpin(f, false)
+	}
+}

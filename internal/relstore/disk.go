@@ -214,31 +214,42 @@ func OpenFileDisk(path string) (*FileDisk, error) {
 	return &FileDisk{f: f}, nil
 }
 
-// ReadPage implements DiskManager.
+// ReadPage implements DiskManager. The bounds and freed-set checks run
+// under d.mu, but the ReadAt itself does not: pread is concurrency-safe
+// (its own file offset, kernel-serialized per page), so real-file reads
+// from the sharded buffer pool's off-latch misses proceed in parallel
+// instead of serializing behind the disk mutex.
 func (d *FileDisk) ReadPage(pid PageID, buf []byte) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if pid == InvalidPage || int64(pid) > d.n {
+		d.mu.Unlock()
 		return fmt.Errorf("relstore: read of unallocated page %d", pid)
 	}
 	if _, ok := d.freed[pid]; ok {
+		d.mu.Unlock()
 		return fmt.Errorf("relstore: read of freed page %d", pid)
 	}
+	d.mu.Unlock()
 	d.stats.Reads.Add(1)
 	_, err := d.f.ReadAt(buf[:PageSize], int64(pid-1)*PageSize)
 	return err
 }
 
-// WritePage implements DiskManager.
+// WritePage implements DiskManager. As with ReadPage, only the checks hold
+// d.mu; the pwrite runs outside it. Concurrent writers of one page are
+// already excluded by the buffer pool (a page flushes from exactly one
+// frame, and the pool never flushes and re-reads a page concurrently).
 func (d *FileDisk) WritePage(pid PageID, buf []byte) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if pid == InvalidPage || int64(pid) > d.n {
+		d.mu.Unlock()
 		return fmt.Errorf("relstore: write of unallocated page %d", pid)
 	}
 	if _, ok := d.freed[pid]; ok {
+		d.mu.Unlock()
 		return fmt.Errorf("relstore: write of freed page %d", pid)
 	}
+	d.mu.Unlock()
 	d.stats.Writes.Add(1)
 	_, err := d.f.WriteAt(buf[:PageSize], int64(pid-1)*PageSize)
 	return err

@@ -34,7 +34,17 @@
 //     are fully thread-safe: Fetch, NewPage, Unpin, and Allocate may be
 //     called from any number of goroutines. Eviction only ever claims
 //     unpinned frames, so a frame's page image is stable for as long as a
-//     caller holds a pin.
+//     caller holds a pin. The pool may be partitioned into independent
+//     shards (NewBufferPoolSharded); pages are hashed to shards by PageID,
+//     each shard has its own latch, and with more than one shard a miss
+//     performs its disk read *outside* the shard latch. Concurrent
+//     fetchers of the same cold page single-flight onto one read: a Fetch
+//     that returns never exposes a partially loaded frame, and the page
+//     image it pins is exactly the on-disk image (or the image a
+//     concurrent writer published under the pin-and-own rules below).
+//     Dirty evictions write back before the frame is reused, and a
+//     re-fetch of a page whose write-back is still in flight waits for it
+//     — callers never observe stale on-disk bytes through the pool.
 //
 //   - Page *contents* follow a pin-and-own discipline: concurrent pinners
 //     of the same frame may all read, but writers of a page must be

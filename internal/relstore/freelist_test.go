@@ -1,6 +1,7 @@
 package relstore
 
 import (
+	"fmt"
 	"path/filepath"
 	"testing"
 )
@@ -87,8 +88,16 @@ func TestFileDiskFreeReuse(t *testing.T) {
 }
 
 func TestBufferPoolFreePage(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			testBufferPoolFreePage(t, shards)
+		})
+	}
+}
+
+func testBufferPoolFreePage(t *testing.T, shards int) {
 	d := NewMemDisk()
-	bp := NewBufferPool(d, 8)
+	bp := NewBufferPoolSharded(d, 8, shards)
 	f, err := bp.NewPage()
 	if err != nil {
 		t.Fatal(err)

@@ -263,6 +263,10 @@ type Options struct {
 	Disk DiskManager
 	// Frames is the buffer-pool size in 4 KiB frames (default 2048 = 8 MiB).
 	Frames int
+	// PoolShards partitions the buffer pool's page table and frames into
+	// independent shards with off-latch page I/O on misses (0/1 = a single
+	// shard with the seed pool's serial-miss semantics — the default).
+	PoolShards int
 }
 
 // Open creates a database instance.
@@ -273,9 +277,12 @@ func Open(o Options) *DB {
 	if o.Frames == 0 {
 		o.Frames = 2048
 	}
+	if o.PoolShards < 1 {
+		o.PoolShards = 1
+	}
 	return &DB{
 		disk:   o.Disk,
-		pool:   NewBufferPool(o.Disk, o.Frames),
+		pool:   NewBufferPoolSharded(o.Disk, o.Frames, o.PoolShards),
 		tables: make(map[string]*Table),
 	}
 }
