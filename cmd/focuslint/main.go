@@ -1,0 +1,63 @@
+// Command focuslint is the repo's invariant checker: a multichecker in the
+// shape of golang.org/x/tools/go/analysis, built on the standard library
+// alone, that mechanically enforces what DESIGN.md promises in prose — the
+// lock tower order, the off-latch I/O contract, error-chain preservation,
+// the negative-sentinel config defaulting idiom, and golden-pinned RNG
+// gating. CI runs it over ./... as a required gate.
+//
+// Usage:
+//
+//	go run ./cmd/focuslint [packages]     # default ./...
+//	go run ./cmd/focuslint -list
+//
+// Exit status is 1 if any diagnostic (or malformed suppression) survives
+// the //focuslint:ignore filter. See DESIGN.md "Statically checked
+// invariants" for the annotation and suppression grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"focus/internal/lint/analysis"
+	"focus/internal/lint/analyzers/errwrapchain"
+	"focus/internal/lint/analyzers/gatedrng"
+	"focus/internal/lint/analyzers/locktower"
+	"focus/internal/lint/analyzers/offlatch"
+	"focus/internal/lint/analyzers/zerodefault"
+	"focus/internal/lint/driver"
+)
+
+var all = []*analysis.Analyzer{
+	locktower.Analyzer,
+	offlatch.Analyzer,
+	errwrapchain.Analyzer,
+	zerodefault.Analyzer,
+	gatedrng.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, targets, err := driver.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "focuslint:", err)
+		os.Exit(2)
+	}
+	diags := driver.Run(prog, targets, all)
+	driver.Print(os.Stdout, prog, diags)
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -47,6 +47,9 @@
 // classifier, distiller, crawler) is implemented as the paper describes.
 // See DESIGN.md for the full system inventory and the shard architecture;
 // cmd/focusexp and `go test -bench .` regenerate the per-figure results.
+// Concurrency and determinism contracts (lock ordering, off-latch I/O,
+// golden-pinned RNG streams) are machine-checked by cmd/focuslint — see
+// DESIGN.md "Statically checked invariants".
 package focus
 
 import (

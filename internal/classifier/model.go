@@ -30,10 +30,10 @@ type TrainConfig struct {
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
-	if c.FeaturesPerNode == 0 {
+	if c.FeaturesPerNode <= 0 {
 		c.FeaturesPerNode = 400
 	}
-	if c.MinDocFreq == 0 {
+	if c.MinDocFreq <= 0 {
 		c.MinDocFreq = 2
 	}
 	return c

@@ -107,10 +107,10 @@ func NewSystemOnWeb(web *webgraph.Web, cfg Config) (*System, error) {
 			return nil, err
 		}
 	}
-	if cfg.ExamplesPerTopic == 0 {
+	if cfg.ExamplesPerTopic <= 0 {
 		cfg.ExamplesPerTopic = 25
 	}
-	if cfg.Frames == 0 {
+	if cfg.Frames <= 0 {
 		cfg.Frames = 4096
 	}
 	db := relstore.Open(relstore.Options{Frames: cfg.Frames, PoolShards: cfg.PoolShards})

@@ -178,10 +178,18 @@ func (c *Crawler) flushBatch(batch []classifyItem) error {
 		// produce. Delete them so DOCUMENT never claims pages the crawl
 		// does not.
 		if derr := c.dropOrphanDocRows(batch[failedAt:]); derr != nil {
-			firstErr = fmt.Errorf("%w (orphaned DOCUMENT cleanup also failed: %v)", firstErr, derr)
+			firstErr = joinCleanupErr(firstErr, derr)
 		}
 	}
 	return firstErr
+}
+
+// joinCleanupErr wraps a flush failure together with the cleanup failure
+// that followed it. Both arms use %w: wrapping the cleanup error with %v
+// would flatten it to text and hide it from errors.Is/As, so callers could
+// no longer detect (say) a relstore corruption behind the flush error.
+func joinCleanupErr(first, cleanup error) error {
+	return fmt.Errorf("%w (orphaned DOCUMENT cleanup also failed: %w)", first, cleanup)
 }
 
 // dropOrphanDocRows removes the DOCUMENT rows of batch items whose visit

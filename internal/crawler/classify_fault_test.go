@@ -8,6 +8,26 @@ import (
 	"testing"
 )
 
+// TestJoinCleanupErrPreservesBothChains pins the double-failure wrap of the
+// flushBatch error path: when the orphaned-DOCUMENT cleanup itself fails,
+// the combined error must keep BOTH causes reachable through errors.Is —
+// the original %v form flattened the cleanup error to text, so callers
+// could match the flush failure but never the cleanup failure behind it.
+func TestJoinCleanupErrPreservesBothChains(t *testing.T) {
+	flushErr := errors.New("injected flush failure")
+	cleanupErr := errors.New("injected cleanup failure")
+	joined := joinCleanupErr(flushErr, cleanupErr)
+	if !errors.Is(joined, flushErr) {
+		t.Errorf("errors.Is(joined, flushErr) = false; flush chain lost in %v", joined)
+	}
+	if !errors.Is(joined, cleanupErr) {
+		t.Errorf("errors.Is(joined, cleanupErr) = false; cleanup chain lost in %v", joined)
+	}
+	if errors.Is(joined, errors.New("unrelated")) {
+		t.Errorf("joined error matches an unrelated sentinel")
+	}
+}
+
 // TestFlushBatchErrorLeavesNoOrphanDocRows pins the flushBatch error path:
 // the batch's DOCUMENT rows are bulk-loaded before any visit completes, so
 // a mid-batch completion failure used to leave rows on disk for visits

@@ -153,7 +153,7 @@ func (c Config) withDefaults() Config {
 	if c.LinkStripes <= 0 {
 		c.LinkStripes = c.Workers
 	}
-	if c.MaxFetches == 0 {
+	if c.MaxFetches <= 0 {
 		c.MaxFetches = 1000
 	}
 	// Zero keeps the default; negative (NoRetries) means an explicit
@@ -169,10 +169,13 @@ func (c Config) withDefaults() Config {
 	if c.BreakerAfter > 0 && c.BreakerCooldown == 0 {
 		c.BreakerCooldown = 50 * time.Millisecond
 	}
+	// Negative already means "boost disabled": boostDelta treats any
+	// HubNeighborBoost < 0 as a no-op, so the sentinel needs no clamp here.
+	//focuslint:ignore zerodefault negative disables the boost downstream in boostDelta
 	if c.HubNeighborBoost == 0 {
 		c.HubNeighborBoost = 0.75
 	}
-	if c.ClassifyFlush == 0 {
+	if c.ClassifyFlush <= 0 {
 		c.ClassifyFlush = time.Millisecond
 	}
 	if c.ClassifyParallelism <= 0 {
@@ -276,7 +279,9 @@ type Crawler struct {
 	// (the published/spare HUBS/AUTH buffer pointers), the policy, and the
 	// table catalog. Lock ordering: any number of link stripe locks and
 	// any one shard mutex may be held when acquiring mu; never the
-	// reverse.
+	// reverse. Table operations under it may transitively reach pool
+	// channel waits and disk I/O, so only direct blocking is banned.
+	//focuslint:lock rank=global order=30 noblockdirect=io,chan,sleep
 	mu        sync.Mutex
 	hubs      *relstore.Table // published score buffers: monitors read these
 	auth      *relstore.Table
@@ -310,8 +315,10 @@ type Crawler struct {
 	pubEpoch    atomic.Int64
 	stallNS     atomic.Int64
 	computeNS   atomic.Int64
-	distillMu   sync.Mutex
-	distillErr  error
+	// Pure leaf guarding only distillErr; nothing is acquired under it.
+	//focuslint:lock rank=distillerr leaf noblock=io,chan,sleep
+	distillMu  sync.Mutex
+	distillErr error
 
 	// Batched-classification pipeline state (Config.ClassifyBatch > 1).
 	// Workers route tokenized fetches by did into one of the
@@ -323,6 +330,8 @@ type Crawler struct {
 	// completes, so an empty frontier with queued items is never mistaken
 	// for stagnation. nil when classification is inline.
 	classifyChs []chan classifyItem
+	// Pure leaf guarding only classifyErr; nothing is acquired under it.
+	//focuslint:lock rank=classifyerr leaf noblock=io,chan,sleep
 	classifyMu  sync.Mutex
 	classifyErr error
 
@@ -429,6 +438,9 @@ func New(db *relstore.DB, model *classifier.Model, fetcher Fetcher, cfg Config) 
 // single writer inserting a page's term rows. Doc stripe locks come last in
 // the lock order: nothing else is acquired while one is held.
 type docStripe struct {
+	// Top of the tower (rank 40): may be taken while holding stripe, shard,
+	// and global locks; no tower lock may be acquired under it.
+	//focuslint:lock rank=docstripe order=40 noblockdirect=io,chan,sleep
 	mu  sync.RWMutex
 	tab *relstore.Table
 }
@@ -470,6 +482,8 @@ func (c *Crawler) Crawl() (*relstore.Table, error) {
 
 // snapshotCrawlLocked rebuilds the merged CRAWL view table. The barrier
 // must be held, so the copy is a consistent cross-shard snapshot.
+//
+//focuslint:lock requires=stripe*,shard*,global
 func (c *Crawler) snapshotCrawlLocked() (*relstore.Table, error) {
 	if err := c.db.DropTable("CRAWL"); err != nil {
 		return nil, err
@@ -502,6 +516,8 @@ func (c *Crawler) Links() *linkgraph.Store { return c.links }
 // relation as a table named "DOCUMENT". Like Crawl, each call refreshes the
 // snapshot, freeing the previous copy's pages for reuse — safe to poll,
 // but the previously returned table handle becomes invalid.
+//
+//focuslint:lock sequence=global,docstripe*
 func (c *Crawler) Doc() (*relstore.Table, error) {
 	c.mu.Lock() // catalog writes below
 	defer c.mu.Unlock()
@@ -1178,6 +1194,8 @@ func (c *Crawler) distillSnapshot() error {
 // writes the same value) and the distiller never sees a stale radius-1
 // weight on an edge into a visited page — and then copies the cross-shard
 // oid -> relevance view. The barrier must be held.
+//
+//focuslint:lock requires=stripe*,shard*,global
 func (c *Crawler) drainAndRelevanceLocked() (map[int64]float64, error) {
 	for oid, pendRel := range c.pendingFwd {
 		if err := c.links.UpdateIncomingFwdLocked(oid, pendRel); err != nil {

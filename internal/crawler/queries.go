@@ -27,6 +27,8 @@ func classifiedUnder(tree *taxonomy.Tree, c, topic taxonomy.NodeID) bool {
 
 // visitedClassesLocked loads oid -> best-leaf class for visited pages
 // across all shards; the barrier (lockAll) must be held.
+//
+//focuslint:lock requires=stripe*,shard*,global
 func (c *Crawler) visitedClassesLocked() (map[int64]taxonomy.NodeID, error) {
 	out := make(map[int64]taxonomy.NodeID)
 	err := c.scanAllLocked(func(_ *shard, _ relstore.RID, t relstore.Tuple) (bool, error) {

@@ -26,7 +26,12 @@ import (
 // each in ascending id order, and the global mutex last — see
 // Crawler.lockAll.
 type shard struct {
-	id     int
+	id int
+	// Tower rank 20: above link stripes, below the global mutex. Table
+	// operations under it may transitively reach buffer-pool channel waits
+	// and disk I/O (that is the off-latch design), so only *direct* blocking
+	// operations are banned in its critical sections.
+	//focuslint:lock rank=shard order=20 noblockdirect=io,chan,sleep
 	mu     sync.Mutex
 	crawl  *relstore.Table
 	policy Policy
@@ -95,6 +100,8 @@ func (c *Crawler) shardFor(sid int32) *shard {
 // monitoring queries. Stripes come first because they rank lowest in the
 // lock order: an ingesting worker holding a stripe lock may be waiting for
 // a shard lock, so taking stripes before shards lets it drain.
+//
+//focuslint:lock sequence=stripe*,shard*,global exit=held
 func (c *Crawler) lockAll() {
 	c.links.LockAll()
 	for _, sh := range c.shards {
@@ -104,6 +111,8 @@ func (c *Crawler) lockAll() {
 }
 
 // unlockAll releases the barrier in reverse order.
+//
+//focuslint:lock releases=global,shard*,stripe*
 func (c *Crawler) unlockAll() {
 	c.mu.Unlock()
 	for i := len(c.shards) - 1; i >= 0; i-- {
@@ -114,6 +123,8 @@ func (c *Crawler) unlockAll() {
 
 // insertFrontierLocked adds a URL to the shard's CRAWL partition if absent;
 // sh.mu must be held.
+//
+//focuslint:lock requires=shard
 func (sh *shard) insertFrontierLocked(url string, rel float64) error {
 	oid := OIDOf(url)
 	if _, ok, err := sh.oidIx.Lookup(relstore.EncodeKey(relstore.I64(oid))); err != nil || ok {
@@ -144,6 +155,8 @@ func (sh *shard) insertFrontierLocked(url string, rel float64) error {
 // improveHeadLocked lowers the published head hint to key if it is better;
 // sh.mu must be held. Valid for mutations that can only add rows or raise
 // a row's priority (inserts, retry re-entries, relevance bumps).
+//
+//focuslint:lock requires=shard
 func (sh *shard) improveHeadLocked(key []byte) {
 	if h := sh.head.Load(); h == nil || bytes.Compare(key, *h) < 0 {
 		k := append([]byte(nil), key...)
@@ -153,6 +166,8 @@ func (sh *shard) improveHeadLocked(key []byte) {
 
 // recomputeHeadLocked rescans the frontier index for the true head (after
 // a removal or an index rebuild); sh.mu must be held.
+//
+//focuslint:lock requires=shard
 func (sh *shard) recomputeHeadLocked() error {
 	prefix := relstore.EncodeKey(relstore.I32(StatusFrontier))
 	var head *[]byte
@@ -223,6 +238,8 @@ func (sh *shard) checkout(hook func(*shard, relstore.Tuple), inflight *atomic.In
 // hub-neighbor policy update, applied either under the barrier (legacy
 // distillation) or shard by shard as the post-publish delta of a
 // concurrent epoch. sh.mu must be held.
+//
+//focuslint:lock requires=shard
 func (sh *shard) boostLocked(oid int64, boost float64) error {
 	rid, row, ok, err := sh.lookupLocked(oid)
 	if err != nil || !ok {
@@ -241,6 +258,8 @@ func (sh *shard) boostLocked(oid int64, boost float64) error {
 }
 
 // lookupLocked finds the row for oid in this shard; sh.mu must be held.
+//
+//focuslint:lock requires=shard
 func (sh *shard) lookupLocked(oid int64) (relstore.RID, relstore.Tuple, bool, error) {
 	rid, ok, err := sh.oidIx.Lookup(relstore.EncodeKey(relstore.I64(oid)))
 	if err != nil || !ok {
@@ -255,6 +274,8 @@ func (sh *shard) lookupLocked(oid int64) (relstore.RID, relstore.Tuple, bool, er
 
 // lookupOIDLocked resolves an oid whose home shard is unknown by probing
 // every shard in turn. The barrier (lockAll) must be held.
+//
+//focuslint:lock requires=stripe*,shard*,global
 func (c *Crawler) lookupOIDLocked(oid int64) (*shard, relstore.RID, relstore.Tuple, bool, error) {
 	for _, sh := range c.shards {
 		rid, row, ok, err := sh.lookupLocked(oid)
@@ -270,6 +291,8 @@ func (c *Crawler) lookupOIDLocked(oid int64) (*shard, relstore.RID, relstore.Tup
 
 // scanAllLocked visits every CRAWL row across all shards. The barrier must
 // be held.
+//
+//focuslint:lock requires=stripe*,shard*,global
 func (c *Crawler) scanAllLocked(fn func(sh *shard, rid relstore.RID, t relstore.Tuple) (bool, error)) error {
 	for _, sh := range c.shards {
 		err := sh.crawl.Scan(func(rid relstore.RID, t relstore.Tuple) (bool, error) {

@@ -77,10 +77,10 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Iterations == 0 {
+	if c.Iterations <= 0 {
 		c.Iterations = 5
 	}
-	if c.Rho == 0 {
+	if c.Rho <= 0 {
 		c.Rho = 0.2
 	}
 	if c.Parallelism <= 0 {

@@ -56,19 +56,19 @@ func (c ClassifyBatchConfig) withDefaults() ClassifyBatchConfig {
 	if c.Topic == "" {
 		c.Topic = "cycling"
 	}
-	if c.Seeds == 0 {
+	if c.Seeds <= 0 {
 		c.Seeds = 20
 	}
-	if c.Budget == 0 {
+	if c.Budget <= 0 {
 		c.Budget = 1000
 	}
-	if c.Workers == 0 {
+	if c.Workers <= 0 {
 		c.Workers = 8
 	}
 	if len(c.Batches) == 0 {
 		c.Batches = []int{1, 16, 64}
 	}
-	if c.Web.NumPages == 0 {
+	if c.Web.NumPages <= 0 {
 		c.Web = DocHeavyWeb(c.Web.Seed, 6000)
 	}
 	if c.Web.FetchLatency == 0 {
@@ -76,6 +76,8 @@ func (c ClassifyBatchConfig) withDefaults() ClassifyBatchConfig {
 		// enough that per-page CPU — the quantity batching attacks — still
 		// bounds throughput.
 		c.Web.FetchLatency = 500 * time.Microsecond
+	} else if c.Web.FetchLatency < 0 {
+		c.Web.FetchLatency = 0 // explicit zero: instantaneous fetches
 	}
 	return c
 }

@@ -51,35 +51,37 @@ func (c CoreScalingConfig) withDefaults() CoreScalingConfig {
 	if c.Topic == "" {
 		c.Topic = "cycling"
 	}
-	if c.Seeds == 0 {
+	if c.Seeds <= 0 {
 		c.Seeds = 20
 	}
-	if c.Budget == 0 {
+	if c.Budget <= 0 {
 		c.Budget = 1000
 	}
-	if c.Workers == 0 {
+	if c.Workers <= 0 {
 		c.Workers = 8
 	}
 	if len(c.Cores) == 0 {
 		c.Cores = []int{1, 2, 4}
 	}
-	if c.ClassifyBatch == 0 {
+	if c.ClassifyBatch <= 0 {
 		c.ClassifyBatch = 16
 	}
-	if c.ClassifyParallelism == 0 {
+	if c.ClassifyParallelism <= 0 {
 		c.ClassifyParallelism = 4
 	}
-	if c.DistillParallelism == 0 {
+	if c.DistillParallelism <= 0 {
 		c.DistillParallelism = 4
 	}
-	if c.DistillIters == 0 {
+	if c.DistillIters <= 0 {
 		c.DistillIters = 5
 	}
-	if c.Web.NumPages == 0 {
+	if c.Web.NumPages <= 0 {
 		c.Web = DocHeavyWeb(c.Web.Seed, 6000)
 	}
 	if c.Web.FetchLatency == 0 {
 		c.Web.FetchLatency = 500 * time.Microsecond
+	} else if c.Web.FetchLatency < 0 {
+		c.Web.FetchLatency = 0 // explicit zero: instantaneous fetches
 	}
 	return c
 }

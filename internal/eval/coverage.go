@@ -32,17 +32,19 @@ func (c CoverageConfig) withDefaults() CoverageConfig {
 	if c.Topic == "" {
 		c.Topic = "cycling"
 	}
-	if c.SeedsEach == 0 {
+	if c.SeedsEach <= 0 {
 		c.SeedsEach = 20
 	}
-	if c.Budget == 0 {
+	if c.Budget <= 0 {
 		c.Budget = 2000
 	}
-	if c.Workers == 0 {
+	if c.Workers <= 0 {
 		c.Workers = 8
 	}
 	if c.MinRelevance == 0 {
 		c.MinRelevance = math.Exp(-1)
+	} else if c.MinRelevance < 0 {
+		c.MinRelevance = 0 // explicit zero: count every scored page
 	}
 	return c
 }

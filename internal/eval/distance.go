@@ -27,19 +27,19 @@ func (c DistanceConfig) withDefaults() DistanceConfig {
 	if c.Topic == "" {
 		c.Topic = "cycling"
 	}
-	if c.Seeds == 0 {
+	if c.Seeds <= 0 {
 		c.Seeds = 25
 	}
-	if c.Budget == 0 {
+	if c.Budget <= 0 {
 		c.Budget = 3000
 	}
-	if c.Workers == 0 {
+	if c.Workers <= 0 {
 		c.Workers = 8
 	}
-	if c.DistillEvery == 0 {
+	if c.DistillEvery <= 0 {
 		c.DistillEvery = 500
 	}
-	if c.TopK == 0 {
+	if c.TopK <= 0 {
 		c.TopK = 100
 	}
 	return c

@@ -53,13 +53,13 @@ func (c HarvestConfig) withDefaults() HarvestConfig {
 	if c.Topic == "" {
 		c.Topic = "cycling"
 	}
-	if c.Seeds == 0 {
+	if c.Seeds <= 0 {
 		c.Seeds = 25
 	}
-	if c.Budget == 0 {
+	if c.Budget <= 0 {
 		c.Budget = 3000
 	}
-	if c.Workers == 0 {
+	if c.Workers <= 0 {
 		c.Workers = 8
 	}
 	return c

@@ -78,19 +78,19 @@ type HostileConfig struct {
 }
 
 func (c HostileConfig) withDefaults() HostileConfig {
-	if c.Pages == 0 {
+	if c.Pages <= 0 {
 		c.Pages = 6000
 	}
 	if c.Topic == "" {
 		c.Topic = "cycling"
 	}
-	if c.Seeds == 0 {
+	if c.Seeds <= 0 {
 		c.Seeds = 20
 	}
-	if c.Budget == 0 {
+	if c.Budget <= 0 {
 		c.Budget = 900
 	}
-	if c.Workers == 0 {
+	if c.Workers <= 0 {
 		c.Workers = 8
 	}
 	if len(c.Levels) == 0 {

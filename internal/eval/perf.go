@@ -30,10 +30,10 @@ type ClassifierPerfConfig struct {
 }
 
 func (c ClassifierPerfConfig) withDefaults() ClassifierPerfConfig {
-	if c.Docs == 0 {
+	if c.Docs <= 0 {
 		c.Docs = 400
 	}
-	if c.Frames == 0 {
+	if c.Frames <= 0 {
 		c.Frames = 256
 	}
 	return c
@@ -411,13 +411,13 @@ func (c DistillerPerfConfig) withDefaults() DistillerPerfConfig {
 	if c.Topic == "" {
 		c.Topic = "cycling"
 	}
-	if c.CrawlBudget == 0 {
+	if c.CrawlBudget <= 0 {
 		c.CrawlBudget = 1200
 	}
-	if c.Iterations == 0 {
+	if c.Iterations <= 0 {
 		c.Iterations = 3
 	}
-	if c.Frames == 0 {
+	if c.Frames <= 0 {
 		c.Frames = 512
 	}
 	return c
@@ -549,10 +549,10 @@ func (c CrawlScalingConfig) withDefaults() CrawlScalingConfig {
 	if c.Topic == "" {
 		c.Topic = "cycling"
 	}
-	if c.Seeds == 0 {
+	if c.Seeds <= 0 {
 		c.Seeds = 20
 	}
-	if c.Budget == 0 {
+	if c.Budget <= 0 {
 		c.Budget = 600
 	}
 	if len(c.Workers) == 0 {
@@ -560,6 +560,8 @@ func (c CrawlScalingConfig) withDefaults() CrawlScalingConfig {
 	}
 	if c.Web.FetchLatency == 0 {
 		c.Web.FetchLatency = 1500 * time.Microsecond
+	} else if c.Web.FetchLatency < 0 {
+		c.Web.FetchLatency = 0 // explicit zero: instantaneous fetches
 	}
 	return c
 }
@@ -682,22 +684,22 @@ func (c DistillStallConfig) withDefaults() DistillStallConfig {
 	if c.Topic == "" {
 		c.Topic = "cycling"
 	}
-	if c.Seeds == 0 {
+	if c.Seeds <= 0 {
 		c.Seeds = 20
 	}
-	if c.Budget == 0 {
+	if c.Budget <= 0 {
 		c.Budget = 600
 	}
-	if c.Workers == 0 {
+	if c.Workers <= 0 {
 		c.Workers = 8
 	}
-	if c.DistillEvery == 0 {
+	if c.DistillEvery <= 0 {
 		c.DistillEvery = 100
 	}
-	if c.Parallelism == 0 {
+	if c.Parallelism <= 0 {
 		c.Parallelism = 2
 	}
-	if c.Web.NumPages == 0 {
+	if c.Web.NumPages <= 0 {
 		c.Web = LinkHeavyWeb(c.Web.Seed, 6000)
 	}
 	if c.Web.FetchLatency == 0 {
@@ -707,6 +709,8 @@ func (c DistillStallConfig) withDefaults() DistillStallConfig {
 		// snapshot-and-go pipeline targets (under the barrier, stopped
 		// workers can't even keep fetches in flight).
 		c.Web.FetchLatency = 20 * time.Millisecond
+	} else if c.Web.FetchLatency < 0 {
+		c.Web.FetchLatency = 0 // explicit zero: instantaneous fetches
 	}
 	return c
 }

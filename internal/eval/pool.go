@@ -60,13 +60,13 @@ func (c PoolScalingConfig) withDefaults() PoolScalingConfig {
 	if c.Topic == "" {
 		c.Topic = "cycling"
 	}
-	if c.Seeds == 0 {
+	if c.Seeds <= 0 {
 		c.Seeds = 20
 	}
-	if c.Budget == 0 {
+	if c.Budget <= 0 {
 		c.Budget = 900
 	}
-	if c.Workers == 0 {
+	if c.Workers <= 0 {
 		c.Workers = 8
 	}
 	if len(c.Shards) == 0 {
@@ -75,19 +75,21 @@ func (c PoolScalingConfig) withDefaults() PoolScalingConfig {
 	if len(c.Frames) == 0 {
 		c.Frames = []int{128, 256}
 	}
-	if c.LinkStripes == 0 {
+	if c.LinkStripes <= 0 {
 		c.LinkStripes = 32
 	}
 	if c.DiskLatency == 0 {
 		c.DiskLatency = 5 * time.Microsecond
+	} else if c.DiskLatency < 0 {
+		c.DiskLatency = 0 // explicit zero: no simulated disk pause
 	}
-	if c.ProbeKeys == 0 {
+	if c.ProbeKeys <= 0 {
 		c.ProbeKeys = 16384
 	}
-	if c.Probes == 0 {
+	if c.Probes <= 0 {
 		c.Probes = 1000
 	}
-	if c.Web.NumPages == 0 {
+	if c.Web.NumPages <= 0 {
 		// The sweep study's web: a small page population at hub density,
 		// so the LINK relation dominates the I/O working set and the
 		// buffer pool is the contended resource.

@@ -55,19 +55,19 @@ func (c SweepScalingConfig) withDefaults() SweepScalingConfig {
 	if c.Topic == "" {
 		c.Topic = "cycling"
 	}
-	if c.Seeds == 0 {
+	if c.Seeds <= 0 {
 		c.Seeds = 20
 	}
-	if c.Budget == 0 {
+	if c.Budget <= 0 {
 		c.Budget = 900
 	}
-	if c.Workers == 0 {
+	if c.Workers <= 0 {
 		c.Workers = 8
 	}
 	if len(c.Stripes) == 0 {
 		c.Stripes = []int{1, 8, 32, 128}
 	}
-	if c.Frames == 0 {
+	if c.Frames <= 0 {
 		c.Frames = int(c.Budget / 5)
 		if c.Frames < 128 {
 			c.Frames = 128
@@ -75,8 +75,10 @@ func (c SweepScalingConfig) withDefaults() SweepScalingConfig {
 	}
 	if c.DiskLatency == 0 {
 		c.DiskLatency = 5 * time.Microsecond
+	} else if c.DiskLatency < 0 {
+		c.DiskLatency = 0 // explicit zero: no simulated disk pause
 	}
-	if c.Web.NumPages == 0 {
+	if c.Web.NumPages <= 0 {
 		// A small page population with LinkHeavyWeb's hub density: the
 		// CRAWL relation stays pool-resident while the LINK relation — the
 		// biggest relation on this workload — dominates the I/O working

@@ -35,6 +35,10 @@ type dstRegistry struct {
 }
 
 type regShard struct {
+	// Pure leaf: taken under stripe locks (applyLocked) or under nothing (a
+	// sweep's mask read); nothing may be acquired and no blocking operation
+	// may run while it is held.
+	//focuslint:lock rank=registry leaf noblock=io,chan,sleep
 	mu sync.Mutex
 	// one holds single-word masks (stripes <= 64, the overwhelmingly common
 	// configuration — no per-dst slice allocation); many holds multi-word

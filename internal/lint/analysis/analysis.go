@@ -1,0 +1,72 @@
+// Package analysis defines the tiny analyzer framework under cmd/focuslint.
+//
+// It is shaped after golang.org/x/tools/go/analysis — an Analyzer is a named
+// check with a Run function producing position-anchored Diagnostics — but is
+// built on the standard library alone (go/ast, go/types) because the module
+// carries no external dependencies. The one structural difference from
+// x/tools is deliberate: Run receives the whole Program, not a single
+// package, because the repo's flagship analyzers (locktower, offlatch)
+// propagate lock summaries across package boundaries (crawler → linkgraph →
+// relstore) and need every package's syntax and types in one shared type
+// universe.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string // filled by the driver from the reporting Analyzer
+	Message  string
+}
+
+// Package is one type-checked package: syntax, types, and the file set they
+// were parsed against (shared program-wide).
+type Package struct {
+	Path  string // import path, e.g. "focus/internal/crawler"
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Program is the set of packages under analysis plus every in-module
+// dependency, all type-checked against one token.FileSet and one shared
+// importer so that a types.Object seen from two packages is the same
+// pointer (facts key directly off objects, no export-data translation).
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package          // all loaded in-module packages, topo order
+	ByPath   map[string]*Package // index over Packages
+
+	// cache holds per-program derived state (e.g. the lock model) built
+	// lazily by the first analyzer that needs it. Keys are private to the
+	// builder. The driver runs analyzers sequentially; no locking.
+	cache map[string]any
+}
+
+// Cached returns the value built by a previous Cached call with the same
+// key, or builds, stores, and returns it.
+func (p *Program) Cached(key string, build func() any) any {
+	if p.cache == nil {
+		p.cache = make(map[string]any)
+	}
+	if v, ok := p.cache[key]; ok {
+		return v
+	}
+	v := build()
+	p.cache[key] = v
+	return v
+}
+
+// Analyzer is one named check. Run inspects target (one of prog.Packages)
+// and returns findings anchored inside it; prog supplies cross-package
+// context.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(prog *Program, target *Package) []Diagnostic
+}

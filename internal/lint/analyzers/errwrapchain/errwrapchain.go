@@ -1,0 +1,122 @@
+// Package errwrapchain flags fmt.Errorf calls that wrap one error with %w
+// while flattening another error argument with %v/%s/%q: the flattened
+// chain is lost to errors.Is/errors.As, which is how the PR 6 adapter bug
+// class slipped in. The fix is a second %w (fmt supports several since Go
+// 1.20) or errors.Join.
+package errwrapchain
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"focus/internal/lint/analysis"
+)
+
+// Analyzer is the errwrapchain analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrapchain",
+	Doc:  "flag fmt.Errorf formats mixing %w with an error flattened by %v/%s/%q",
+	Run:  run,
+}
+
+// verb is one parsed format verb and the argument index it consumes.
+type verb struct {
+	letter byte
+	arg    int
+}
+
+// parseVerbs extracts the verbs of a Printf-style format with their
+// argument positions. ok is false for formats this simple parser does not
+// model (explicit argument indexes, * width/precision).
+func parseVerbs(format string) (verbs []verb, ok bool) {
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// Skip flags, width, and precision.
+		for i < len(format) && strings.IndexByte("+-# 0123456789.", format[i]) >= 0 {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '*', '[':
+			return nil, false
+		}
+		verbs = append(verbs, verb{letter: format[i], arg: arg})
+		arg++
+	}
+	return verbs, true
+}
+
+func run(prog *analysis.Program, target *analysis.Package) []analysis.Diagnostic {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	var out []analysis.Diagnostic
+	for _, file := range target.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := target.Info.Uses[sel.Sel].(*types.Func)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			tv := target.Info.Types[call.Args[0]]
+			if tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			verbs, ok := parseVerbs(constant.StringVal(tv.Value))
+			if !ok {
+				return true
+			}
+			hasWrap := false
+			for _, v := range verbs {
+				if v.letter == 'w' {
+					hasWrap = true
+				}
+			}
+			if !hasWrap {
+				return true
+			}
+			for _, v := range verbs {
+				if v.letter != 'v' && v.letter != 's' && v.letter != 'q' {
+					continue
+				}
+				argIdx := 1 + v.arg
+				if argIdx >= len(call.Args) {
+					continue
+				}
+				t := target.Info.Types[call.Args[argIdx]].Type
+				if t == nil || !types.Implements(t, errType) {
+					continue
+				}
+				out = append(out, analysis.Diagnostic{
+					Pos: call.Args[argIdx].Pos(),
+					Message: "fmt.Errorf mixes %w with %" + string(v.letter) +
+						" on an error value: the flattened chain is lost to errors.Is; use a second %w or errors.Join",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

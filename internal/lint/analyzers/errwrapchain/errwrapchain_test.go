@@ -1,0 +1,12 @@
+package errwrapchain_test
+
+import (
+	"testing"
+
+	"focus/internal/lint/analyzers/errwrapchain"
+	"focus/internal/lint/linttest"
+)
+
+func TestErrWrapChain(t *testing.T) {
+	linttest.Run(t, "testdata/wrap", errwrapchain.Analyzer)
+}

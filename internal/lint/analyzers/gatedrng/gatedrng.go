@@ -1,0 +1,196 @@
+// Package gatedrng keeps the webgraph's golden-pinned RNG streams stable:
+// in packages marked `//focuslint:rng-package`, every random draw must be
+// dominated by a feature-flag guard (a condition reading a Config field,
+// directly or through a local derived from one), so that runs with the
+// hostility features off consume bit-identical random sequences to the
+// goldens. Generation-time streams that the goldens themselves capture are
+// exempted per function with `//focuslint:rng baseline`.
+//
+// Draws are calls into math/rand other than the constructors
+// (New/NewSource/NewZipf/Seed) — those create generators without consuming
+// the stream.
+package gatedrng
+
+import (
+	"go/ast"
+	"go/types"
+
+	"focus/internal/lint/analysis"
+	"focus/internal/lint/driver"
+)
+
+// Analyzer is the gatedrng analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "gatedrng",
+	Doc:  "require feature-flag guards around RNG draws in rng-package-marked packages",
+	Run:  run,
+}
+
+func run(prog *analysis.Program, target *analysis.Package) []analysis.Diagnostic {
+	if !isRNGPackage(target) {
+		return nil
+	}
+	var out []analysis.Diagnostic
+	for _, file := range target.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isBaseline(fd) {
+				continue
+			}
+			out = append(out, checkFunc(target, fd)...)
+		}
+	}
+	return out
+}
+
+func isRNGPackage(pkg *analysis.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc == nil {
+			continue
+		}
+		for _, c := range f.Doc.List {
+			if kw, _, ok := driver.Directive(c.Text); ok && kw == "rng-package" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isBaseline(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if kw, rest, ok := driver.Directive(c.Text); ok && kw == "rng" && rest == "baseline" {
+			return true
+		}
+	}
+	return false
+}
+
+// isDraw reports whether call consumes a math/rand stream.
+func isDraw(pkg *analysis.Package, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math/rand" {
+		return false
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewZipf", "Seed":
+		return false
+	}
+	return true
+}
+
+func checkFunc(pkg *analysis.Package, fd *ast.FuncDecl) []analysis.Diagnostic {
+	// Locals assigned from Config-reading expressions count as guards
+	// (`hostile := w.Cfg.ServerCapacity > 0 || ...; if hostile { ... }`).
+	derived := map[types.Object]bool{}
+	// Two rounds so a local derived from another derived local resolves.
+	for range 2 {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if mentionsConfig(pkg, as.Rhs[i], derived) {
+					if obj := pkg.Info.ObjectOf(id); obj != nil {
+						derived[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	var out []analysis.Diagnostic
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isDraw(pkg, call) {
+			if !gated(pkg, stack, derived) {
+				out = append(out, analysis.Diagnostic{
+					Pos: call.Pos(),
+					Message: "RNG draw not dominated by a feature-flag guard: gate it on a Config field " +
+						"(or mark the function `//focuslint:rng baseline` if the goldens capture this stream)",
+				})
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return out
+}
+
+// gated reports whether any enclosing if condition (or switch tag) reads a
+// Config field or a Config-derived local.
+func gated(pkg *analysis.Package, stack []ast.Node, derived map[types.Object]bool) bool {
+	for _, n := range stack {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if mentionsConfig(pkg, n.Cond, derived) {
+				return true
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil && mentionsConfig(pkg, n.Tag, derived) {
+				return true
+			}
+		case *ast.CaseClause:
+			for _, e := range n.List {
+				if mentionsConfig(pkg, e, derived) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// mentionsConfig reports whether e reads a field of a value whose named
+// type ends in Config, or uses a local previously derived from one.
+func mentionsConfig(pkg *analysis.Package, e ast.Expr, derived map[types.Object]bool) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			t := pkg.Info.Types[n.X].Type
+			if t != nil {
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if named, ok := t.(*types.Named); ok {
+					name := named.Obj().Name()
+					if name == "Config" || len(name) > 6 && name[len(name)-6:] == "Config" {
+						found = true
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj := pkg.Info.ObjectOf(n); obj != nil && derived[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package gatedrng_test
+
+import (
+	"testing"
+
+	"focus/internal/lint/analyzers/gatedrng"
+	"focus/internal/lint/linttest"
+)
+
+func TestGatedRNG(t *testing.T) {
+	linttest.Run(t, "testdata/rng", gatedrng.Analyzer)
+}

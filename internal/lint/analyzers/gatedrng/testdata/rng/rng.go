@@ -1,0 +1,72 @@
+// Package fixture is the gatedrng analyzer's test bed: RNG draws in a
+// marked package must sit under a feature-flag guard unless the function
+// is a golden-captured baseline stream.
+//
+//focuslint:rng-package
+package fixture
+
+import "math/rand"
+
+type Config struct {
+	FailRate float64
+	Outage   float64
+	Hostile  bool
+}
+
+type sim struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// Constructors create generators without consuming the stream.
+func newSim(seed int64) *sim {
+	return &sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// A draw directly under a Config-field condition is gated.
+func (s *sim) gated() float64 {
+	if s.cfg.FailRate > 0 {
+		return s.rng.Float64()
+	}
+	return 0
+}
+
+// A local derived from Config fields gates too (the webgraph `hostile`
+// pattern), including through a second derivation.
+func (s *sim) derivedGate() float64 {
+	hostile := s.cfg.Hostile || s.cfg.FailRate > 0
+	really := hostile && s.cfg.Outage > 0
+	if really {
+		return s.rng.Float64()
+	}
+	return 0
+}
+
+// Switch tags and case expressions count as guards.
+func (s *sim) switchGate() float64 {
+	switch {
+	case s.cfg.Outage > 0:
+		return s.rng.Float64()
+	}
+	return 0
+}
+
+// An unguarded draw perturbs the golden streams.
+func (s *sim) ungated() float64 {
+	return s.rng.Float64() // want `gatedrng: RNG draw not dominated by a feature-flag guard`
+}
+
+// A guard on something that is not a Config field does not count.
+func (s *sim) wrongGate(n int) int64 {
+	if n > 0 {
+		return s.rng.Int63n(int64(n + 1)) // want `gatedrng: RNG draw not dominated by a feature-flag guard`
+	}
+	return 0
+}
+
+// Generation-time streams the goldens capture are exempt per function.
+//
+//focuslint:rng baseline
+func (s *sim) baseline() float64 {
+	return s.rng.Float64()
+}

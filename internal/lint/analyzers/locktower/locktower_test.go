@@ -1,0 +1,12 @@
+package locktower_test
+
+import (
+	"testing"
+
+	"focus/internal/lint/analyzers/locktower"
+	"focus/internal/lint/linttest"
+)
+
+func TestLockTower(t *testing.T) {
+	linttest.Run(t, "testdata/tower", locktower.Analyzer)
+}

@@ -1,0 +1,137 @@
+// Package fixture is the locktower analyzer's test bed: a miniature of the
+// crawler's lock tower (stripe < shard < global) plus a pure leaf, with one
+// function per checked contract. `// want` comments mark the expected
+// diagnostics; lines without one must stay clean.
+package fixture
+
+import "sync"
+
+type stripe struct {
+	//focuslint:lock rank=stripe order=10
+	mu sync.Mutex
+}
+
+type shard struct {
+	//focuslint:lock rank=shard order=20
+	mu sync.Mutex
+}
+
+type global struct {
+	//focuslint:lock rank=global order=30
+	mu sync.Mutex
+}
+
+type leafReg struct {
+	//focuslint:lock rank=reg leaf noblock=io,chan,sleep
+	mu sync.Mutex
+}
+
+type world struct {
+	stripes []*stripe
+	shards  []*shard
+	g       global
+	reg     leafReg
+}
+
+// The ascending barrier loop: multi-instance acquisition of stripe and
+// shard is licensed by the sequence=...* annotation, and returning with
+// everything held is licensed by exit=held.
+//
+//focuslint:lock sequence=stripe*,shard*,global exit=held
+func (w *world) lockAll() {
+	for _, st := range w.stripes {
+		st.mu.Lock()
+	}
+	for _, sh := range w.shards {
+		sh.mu.Lock()
+	}
+	w.g.mu.Lock()
+}
+
+//focuslint:lock releases=global,shard*,stripe*
+func (w *world) unlockAll() {
+	w.g.mu.Unlock()
+	for i := len(w.shards) - 1; i >= 0; i-- {
+		w.shards[i].mu.Unlock()
+	}
+	for i := len(w.stripes) - 1; i >= 0; i-- {
+		w.stripes[i].mu.Unlock()
+	}
+}
+
+// A barrier caller is clean: lockAll's exit=held applies its sequence, and
+// the deferred unlockAll nets every rank back out.
+func (w *world) barrier() {
+	w.lockAll()
+	defer w.unlockAll()
+}
+
+// Descending the tower is the canonical order violation.
+func (w *world) descend(st *stripe, sh *shard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st.mu.Lock() // want `locktower: .*acquires stripe \(order 10\) while holding shard \(order 20\)`
+	st.mu.Unlock()
+}
+
+// Ascending is fine: stripe then shard then global.
+func (w *world) ascend(st *stripe, sh *shard) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	w.g.mu.Lock()
+	w.g.mu.Unlock()
+}
+
+// A second instance of a rank needs the star annotation.
+func (w *world) double() {
+	a, b := w.stripes[0], w.stripes[1]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `locktower: .*acquires a second stripe instance`
+	b.mu.Unlock()
+}
+
+// Leaf locks may acquire nothing — not even the lowest tower rank.
+func (w *world) leafAcquiresNothing(st *stripe) {
+	w.reg.mu.Lock()
+	st.mu.Lock() // want `locktower: .*acquires stripe while leaf lock reg is held`
+	st.mu.Unlock()
+	w.reg.mu.Unlock()
+}
+
+// Taking a leaf *under* a tower lock is fine (that is what leaves are for).
+func (w *world) leafUnderTower(sh *shard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	w.reg.mu.Lock()
+	w.reg.mu.Unlock()
+}
+
+//focuslint:lock requires=shard
+func (w *world) needsShard() int { return 1 }
+
+func (w *world) forgotShard() {
+	_ = w.needsShard() // want `locktower: call to needsShard requires shard held`
+}
+
+func (w *world) holdsShard(sh *shard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_ = w.needsShard()
+}
+
+// Returning with a lock held and no exit=held annotation is a leak.
+func (w *world) leak(st *stripe) {
+	st.mu.Lock()
+} // want `locktower: leak returns still holding stripe`
+
+// The suppression machinery: an explained ignore swallows the diagnostic.
+func (w *world) suppressed(st *stripe, sh *shard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	//focuslint:ignore locktower fixture exercises the suppression machinery
+	st.mu.Lock()
+	st.mu.Unlock()
+}

@@ -1,0 +1,12 @@
+package offlatch_test
+
+import (
+	"testing"
+
+	"focus/internal/lint/analyzers/offlatch"
+	"focus/internal/lint/linttest"
+)
+
+func TestOffLatch(t *testing.T) {
+	linttest.Run(t, "testdata/latch", offlatch.Analyzer)
+}

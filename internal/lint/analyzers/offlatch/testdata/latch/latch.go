@@ -1,0 +1,70 @@
+// Package fixture is the offlatch analyzer's test bed: a leaf latch whose
+// critical sections ban all blocking (noblock, checked transitively) and a
+// tower-style lock that bans only direct blocking ops (noblockdirect), the
+// split the buffer pool's off-latch design needs.
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type pool struct {
+	//focuslint:lock rank=latch leaf noblock=io,chan,sleep
+	mu sync.Mutex
+}
+
+type store struct {
+	//focuslint:lock rank=big order=10 noblockdirect=io,chan,sleep
+	mu sync.Mutex
+}
+
+//focuslint:blocking io
+func readPage() error { return nil }
+
+func helper() {
+	time.Sleep(time.Millisecond)
+}
+
+// Every blocking class is banned while the leaf latch is held — directly or
+// through a callee.
+func underLatch(p *pool, ch chan int) {
+	p.mu.Lock()
+	_ = readPage()               // want `offlatch: call to readPage \(focuslint:blocking io\) while latch is held`
+	<-ch                         // want `offlatch: channel receive while latch is held`
+	time.Sleep(time.Millisecond) // want `offlatch: time.Sleep while latch is held`
+	helper()                     // want `offlatch: call to helper may reach a sleep op while latch is held`
+	p.mu.Unlock()
+}
+
+// The off-latch pattern: release before blocking.
+func offLatch(p *pool, ch chan int) {
+	p.mu.Lock()
+	p.mu.Unlock()
+	<-ch
+	time.Sleep(time.Millisecond)
+}
+
+// noblockdirect bans only direct ops: the transitive sleep through helper
+// is legitimate (tower critical sections reach pool waits by design), the
+// direct channel send is not.
+func underTower(s *store, ch chan int) {
+	s.mu.Lock()
+	helper()
+	ch <- 1 // want `offlatch: channel send while big is held`
+	s.mu.Unlock()
+}
+
+// A select with a default case never blocks and is clean even under the
+// leaf latch; a bare select is a channel wait.
+func selects(p *pool, ch chan int) {
+	p.mu.Lock()
+	select {
+	case <-ch:
+	default:
+	}
+	select { // want `offlatch: select while latch is held`
+	case <-ch:
+	}
+	p.mu.Unlock()
+}

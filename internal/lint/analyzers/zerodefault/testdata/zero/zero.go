@@ -1,0 +1,64 @@
+// Package fixture is the zerodefault analyzer's test bed: config
+// defaulting with and without the negative-sentinel clamp idiom.
+package fixture
+
+import "fmt"
+
+// Config is a defaulting surface (the analyzer keys on the type name).
+type Config struct {
+	Workers int
+	Budget  int
+	Latency float64
+	Rate    float64
+	Boost   float64
+	Nested  SubConfig
+}
+
+// SubConfig nests under Config like webgraph.Config under eval configs.
+type SubConfig struct {
+	NumPages int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 { // want `zerodefault: defaults c.Workers on ==0 with no negative-sentinel clamp`
+		c.Workers = 8
+	}
+	// Defaulting on <= 0 both repels garbage and passes the check.
+	if c.Budget <= 0 {
+		c.Budget = 1000
+	}
+	// The full idiom: zero keeps the default, negative is an explicit zero.
+	if c.Latency == 0 {
+		c.Latency = 1.5
+	} else if c.Latency < 0 {
+		c.Latency = 0
+	}
+	// An explained suppression stands in for a field whose negative value
+	// is handled downstream.
+	//focuslint:ignore zerodefault negative disables the boost downstream
+	if c.Boost == 0 {
+		c.Boost = 0.75
+	}
+	// Overwriting the whole struct counts as writing the compared field.
+	if c.Nested.NumPages == 0 { // want `zerodefault: defaults c.Nested.NumPages on ==0 with no negative-sentinel clamp`
+		c.Nested = SubConfig{NumPages: 6000}
+	}
+	return c
+}
+
+// An emptiness check without an assignment is validation, not defaulting.
+func validate(c Config) error {
+	if c.Rate == 0 {
+		return fmt.Errorf("rate must be set")
+	}
+	return nil
+}
+
+// options is not a *Config type, so its defaulting is out of scope.
+type options struct{ n int }
+
+func fill(o *options) {
+	if o.n == 0 {
+		o.n = 4
+	}
+}

@@ -1,0 +1,12 @@
+package zerodefault_test
+
+import (
+	"testing"
+
+	"focus/internal/lint/analyzers/zerodefault"
+	"focus/internal/lint/linttest"
+)
+
+func TestZeroDefault(t *testing.T) {
+	linttest.Run(t, "testdata/zero", zerodefault.Analyzer)
+}

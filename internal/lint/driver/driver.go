@@ -1,0 +1,170 @@
+// Package driver loads packages for cmd/focuslint and runs analyzers over
+// them.
+//
+// Loading shells out to `go list -e -deps -export -json`: the go tool
+// resolves the package graph and materializes gc export data in the build
+// cache, in-module packages are then re-type-checked from source in one
+// shared type universe (so cross-package facts key off types.Object
+// identity), and everything outside the module — in this repo, only the
+// standard library — is imported from the export data. No network, no
+// external modules.
+//
+// The driver also implements the suppression directive shared by every
+// analyzer:
+//
+//	//focuslint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the flagged line or the line directly above it. The analyzer
+// list may be * to match any analyzer. The reason is mandatory: an ignore
+// directive without one is itself reported (as analyzer "ignore") and
+// cannot be suppressed, so the CI gate enforces the zero-unexplained-
+// suppressions rule mechanically.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+
+	"focus/internal/lint/analysis"
+)
+
+// suppression is one parsed //focuslint:ignore directive.
+type suppression struct {
+	file      string
+	line      int
+	analyzers []string // names, or ["*"]
+	reason    string
+	used      bool
+}
+
+func (s *suppression) matches(name string) bool {
+	for _, a := range s.analyzers {
+		if a == "*" || a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Directive parses a comment's text as a focuslint directive, returning
+// the keyword (e.g. "ignore", "lock", "blocking") and the remainder.
+// Both `//focuslint:kw rest` and `// focuslint:kw rest` forms are
+// accepted. ok is false for ordinary comments.
+func Directive(text string) (kw, rest string, ok bool) {
+	t := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	if !strings.HasPrefix(t, "focuslint:") {
+		return "", "", false
+	}
+	t = strings.TrimPrefix(t, "focuslint:")
+	kw, rest, _ = strings.Cut(t, " ")
+	return kw, strings.TrimSpace(rest), kw != ""
+}
+
+// collectSuppressions scans every comment in the package for ignore
+// directives. Directives with an empty reason are returned as pre-made
+// diagnostics instead.
+func collectSuppressions(prog *analysis.Program, pkg *analysis.Package) ([]*suppression, []analysis.Diagnostic) {
+	var sups []*suppression
+	var bad []analysis.Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				kw, rest, ok := Directive(c.Text)
+				if !ok || kw != "ignore" {
+					continue
+				}
+				names, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if names == "" || reason == "" {
+					bad = append(bad, analysis.Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "ignore",
+						Message:  "focuslint:ignore needs an analyzer list and a non-empty reason",
+					})
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				sups = append(sups, &suppression{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: strings.Split(names, ","),
+					reason:    reason,
+				})
+			}
+		}
+	}
+	return sups, bad
+}
+
+// Run executes the analyzers over each target package, applies suppression
+// directives, and returns the surviving diagnostics sorted by position.
+func Run(prog *analysis.Program, targets []*analysis.Package, analyzers []*analysis.Analyzer) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, pkg := range targets {
+		sups, bad := collectSuppressions(prog, pkg)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			for _, d := range a.Run(prog, pkg) {
+				d.Analyzer = a.Name
+				if suppressed(prog.Fset, sups, d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+		// An ignore directive that suppressed nothing is stale; report it
+		// so dead exceptions cannot linger after the code they excused is
+		// fixed or deleted.
+		for _, s := range sups {
+			if !s.used {
+				out = append(out, analysis.Diagnostic{
+					Analyzer: "ignore",
+					Message: fmt.Sprintf("%s:%d: stale focuslint:ignore (%s): no diagnostic here",
+						s.file, s.line, strings.Join(s.analyzers, ",")),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(out[i].Pos), prog.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+func suppressed(fset *token.FileSet, sups []*suppression, d analysis.Diagnostic) bool {
+	if !d.Pos.IsValid() {
+		return false
+	}
+	pos := fset.Position(d.Pos)
+	for _, s := range sups {
+		if s.file != pos.Filename || !s.matches(d.Analyzer) {
+			continue
+		}
+		if s.line == pos.Line || s.line == pos.Line-1 {
+			s.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Print writes diagnostics in the familiar file:line:col form.
+func Print(w io.Writer, prog *analysis.Program, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		if d.Pos.IsValid() {
+			fmt.Fprintf(w, "%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		} else {
+			fmt.Fprintf(w, "%s: %s\n", d.Analyzer, d.Message)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"focus/internal/lint/analysis"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string // export-data file produced by -export
+	Standard   bool
+	Imports    []string
+	Module     *struct{ Path string }
+}
+
+// goList shells out to the go tool for package metadata plus compiled
+// export data. -export makes the build cache materialize .a export files
+// for every listed package, which is what lets the loader type-check
+// against the standard library without network access or source parsing.
+func goList(dir string, patterns ...string) ([]*listedPackage, error) {
+	return goListArgs(dir, []string{"-deps", "-export"}, patterns...)
+}
+
+func goListArgs(dir string, extra []string, patterns ...string) ([]*listedPackage, error) {
+	args := append(append([]string{"list", "-e", "-json"}, extra...), patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list decode: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths to gc export data files named by
+// `go list -export`. Used for every out-of-module dependency (in practice:
+// the standard library).
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// universeImporter type-checks in-module packages from source (so object
+// identity holds program-wide) and everything else from export data.
+type universeImporter struct {
+	gc     types.Importer
+	source map[string]*types.Package
+}
+
+func (u *universeImporter) Import(path string) (*types.Package, error) {
+	if p, ok := u.source[path]; ok {
+		return p, nil
+	}
+	return u.gc.Import(path)
+}
+
+// Load resolves patterns (e.g. "./...") from dir, parses every matched
+// in-module package plus its in-module dependencies, and type-checks them
+// in dependency order inside one shared type universe. It returns the
+// program and the matched target packages (the ones analyzers report on).
+func Load(dir string, patterns ...string) (*analysis.Program, []*analysis.Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	// -deps mixes targets and dependencies; a second plain list names just
+	// the targets.
+	targetList, err := goListArgs(dir, nil, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	targets := make(map[string]bool)
+	for _, p := range targetList {
+		targets[p.ImportPath] = true
+	}
+
+	fset := token.NewFileSet()
+	exports := make(map[string]string)
+	inModule := make(map[string]*listedPackage)
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && p.Module != nil && p.Name != "" {
+			inModule[p.ImportPath] = p
+		}
+	}
+
+	// Topologically order the in-module packages (imports first).
+	var order []*listedPackage
+	state := make(map[string]int) // 0 new, 1 visiting, 2 done
+	var visit func(p *listedPackage) error
+	visit = func(p *listedPackage) error {
+		switch state[p.ImportPath] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", p.ImportPath)
+		case 2:
+			return nil
+		}
+		state[p.ImportPath] = 1
+		imps := append([]string(nil), p.Imports...)
+		sort.Strings(imps)
+		for _, imp := range imps {
+			if dep, ok := inModule[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.ImportPath] = 2
+		order = append(order, p)
+		return nil
+	}
+	paths := make([]string, 0, len(inModule))
+	for path := range inModule {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(inModule[path]); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	imp := &universeImporter{
+		gc:     exportImporter(fset, exports),
+		source: make(map[string]*types.Package),
+	}
+	prog := &analysis.Program{Fset: fset, ByPath: make(map[string]*analysis.Package)}
+	var matched []*analysis.Package
+	for _, lp := range order {
+		pkg, err := checkPackage(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, nil, err
+		}
+		imp.source[lp.ImportPath] = pkg.Pkg
+		prog.Packages = append(prog.Packages, pkg)
+		prog.ByPath[lp.ImportPath] = pkg
+		if targets[lp.ImportPath] {
+			matched = append(matched, pkg)
+		}
+	}
+	return prog, matched, nil
+}
+
+// LoadDir type-checks one directory of Go files as a standalone package
+// (import path = its package name), resolving its imports from export
+// data listed out of moduleDir. This is the fixture loader: testdata
+// packages sit outside the module's package graph, import only the
+// standard library, and still get full type information.
+func LoadDir(moduleDir, fixtureDir string) (*analysis.Program, *analysis.Package, error) {
+	ents, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no .go files in %s", fixtureDir)
+	}
+	sort.Strings(files)
+
+	// Parse first so the import set is known, then list exactly those
+	// dependencies (std is cheap and cached, but staying narrow keeps
+	// fixture loads fast).
+	fset := token.NewFileSet()
+	var syntax []*ast.File
+	impSet := map[string]bool{}
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, filepath.Join(fixtureDir, f), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		syntax = append(syntax, af)
+		for _, spec := range af.Imports {
+			impSet[spec.Path.Value[1:len(spec.Path.Value)-1]] = true
+		}
+	}
+	patterns := make([]string, 0, len(impSet))
+	for p := range impSet {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	exports := make(map[string]string)
+	if len(patterns) > 0 {
+		listed, err := goList(moduleDir, patterns...)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	imp := &universeImporter{gc: exportImporter(fset, exports), source: map[string]*types.Package{}}
+	name := syntax[0].Name.Name
+	pkg, err := checkFiles(fset, imp, name, syntax)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog := &analysis.Program{
+		Fset:     fset,
+		Packages: []*analysis.Package{pkg},
+		ByPath:   map[string]*analysis.Package{pkg.Path: pkg},
+	}
+	return prog, pkg, nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*analysis.Package, error) {
+	var syntax []*ast.File
+	for _, f := range goFiles {
+		af, err := parser.ParseFile(fset, filepath.Join(dir, f), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, af)
+	}
+	return checkFiles(fset, imp, path, syntax)
+}
+
+func checkFiles(fset *token.FileSet, imp types.Importer, path string, syntax []*ast.File) (*analysis.Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %v", path, err)
+	}
+	return &analysis.Package{Path: path, Files: syntax, Pkg: tpkg, Info: info}, nil
+}

@@ -1,0 +1,111 @@
+// Package linttest runs focuslint analyzers over testdata fixture
+// directories and matches their diagnostics against the fixtures' `// want`
+// comments — the same convention as golang.org/x/tools' analysistest:
+//
+//	sh.mu.Lock() // want `acquires shard .*`
+//
+// A want comment lists one or more backquoted or double-quoted regular
+// expressions; every diagnostic on the line must match one of them and
+// every expectation must be used. Lines with no want comment must produce
+// no diagnostics. Suppression directives (//focuslint:ignore) are honored
+// by the driver exactly as in production, so fixtures also exercise the
+// suppression machinery.
+package linttest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"focus/internal/lint/analysis"
+	"focus/internal/lint/driver"
+)
+
+// wantRE pulls the quoted expectations out of a want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type expectation struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run loads dir as a standalone package, applies the analyzers, and
+// reports any mismatch between diagnostics and want comments on t.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	prog, pkg, err := driver.LoadDir(".", dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+
+	// Collect expectations: file:line -> regexps.
+	expected := map[string][]*expectation{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				key := posKey(pos.Filename, pos.Line)
+				for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+					}
+					expected[key] = append(expected[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	diags := driver.Run(prog, []*analysis.Package{pkg}, analyzers)
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		key := posKey(pos.Filename, pos.Line)
+		matched := false
+		for _, e := range expected[key] {
+			if !e.used && e.re.MatchString(d.Analyzer+": "+d.Message) {
+				e.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s: %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, exps := range expected {
+		for _, e := range exps {
+			if !e.used {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, e.re)
+			}
+		}
+	}
+}
+
+func posKey(file string, line int) string {
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

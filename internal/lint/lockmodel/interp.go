@@ -1,0 +1,789 @@
+package lockmodel
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"focus/internal/lint/analysis"
+)
+
+// heldRank is the abstract state of one rank: how many instances may be
+// held ([lo,hi] interval — lo is "definitely", hi is "possibly") plus a
+// star flag for "every instance" (after a barrier sequence). lastPos
+// remembers the most recent acquisition site for diagnostics.
+type heldRank struct {
+	lo, hi  int
+	star    bool
+	lastPos token.Pos
+}
+
+// lockState is the abstract interpreter's per-program-point state.
+type lockState struct {
+	held        map[string]*heldRank
+	deferred    map[string]int // pending `defer Unlock` releases per rank
+	deferStar   map[string]bool
+	unreachable bool
+}
+
+func newState() *lockState {
+	return &lockState{
+		held:      make(map[string]*heldRank),
+		deferred:  make(map[string]int),
+		deferStar: make(map[string]bool),
+	}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newState()
+	c.unreachable = s.unreachable
+	for r, h := range s.held {
+		hc := *h
+		c.held[r] = &hc
+	}
+	for r, n := range s.deferred {
+		c.deferred[r] = n
+	}
+	for r, b := range s.deferStar {
+		c.deferStar[r] = b
+	}
+	return c
+}
+
+func (s *lockState) rank(r string) *heldRank {
+	h, ok := s.held[r]
+	if !ok {
+		h = &heldRank{}
+		s.held[r] = h
+	}
+	return h
+}
+
+// mayHold reports whether at least one instance of rank r may be held.
+func (s *lockState) mayHold(r string) bool {
+	h, ok := s.held[r]
+	return ok && (h.hi > 0 || h.star)
+}
+
+// join merges two control-flow branches: may-hold (hi, star) unions, so
+// ordering checks stay sound; must-hold (lo) intersects, so the exit check
+// never reports a lock that some path released.
+func join(a, b *lockState) *lockState {
+	if a == nil || a.unreachable {
+		return b
+	}
+	if b == nil || b.unreachable {
+		return a
+	}
+	out := newState()
+	ranks := map[string]bool{}
+	for r := range a.held {
+		ranks[r] = true
+	}
+	for r := range b.held {
+		ranks[r] = true
+	}
+	for r := range ranks {
+		ha, hb := a.held[r], b.held[r]
+		if ha == nil {
+			ha = &heldRank{}
+		}
+		if hb == nil {
+			hb = &heldRank{}
+		}
+		out.held[r] = &heldRank{
+			lo:      min(ha.lo, hb.lo),
+			hi:      max(ha.hi, hb.hi),
+			star:    ha.star || hb.star,
+			lastPos: max(ha.lastPos, hb.lastPos),
+		}
+	}
+	for r := range a.deferred {
+		out.deferred[r] = max(out.deferred[r], a.deferred[r])
+	}
+	for r := range b.deferred {
+		out.deferred[r] = max(out.deferred[r], b.deferred[r])
+	}
+	for r := range a.deferStar {
+		out.deferStar[r] = out.deferStar[r] || a.deferStar[r]
+	}
+	for r := range b.deferStar {
+		out.deferStar[r] = out.deferStar[r] || b.deferStar[r]
+	}
+	return out
+}
+
+// breakCtx is a break/continue target on the interpreter's context stack.
+type breakCtx struct {
+	label  string
+	isLoop bool
+	breaks []*lockState
+	conts  []*lockState
+}
+
+// interp walks one function body, tracking the held-lock state.
+type interp struct {
+	m     *Model
+	pkg   *analysis.Package
+	fn    *types.Func
+	annot *FuncAnnot
+	// starOK lists ranks this function is annotated (sequence=/requires=
+	// with *) to multi-acquire in an ascending loop.
+	starOK       map[string]bool
+	stack        []*breakCtx
+	pendingLabel string
+	// skipChan marks the top-level channel op of each select comm clause:
+	// the select statement itself is the blocking construct there (and a
+	// select with a default never blocks), so the op is not reported twice.
+	skipChan map[ast.Node]bool
+}
+
+// newCtx pushes a break/continue target, consuming any pending label set
+// by an enclosing labeled statement.
+func (in *interp) newCtx(isLoop bool) *breakCtx {
+	ctx := &breakCtx{isLoop: isLoop, label: in.pendingLabel}
+	in.pendingLabel = ""
+	in.stack = append(in.stack, ctx)
+	return ctx
+}
+
+func (in *interp) popCtx() { in.stack = in.stack[:len(in.stack)-1] }
+
+// checkAll runs the interpreter over every function body and every closure
+// (as an independent root with an empty entry state: goroutines and stored
+// function values begin holding nothing their definer can vouch for).
+func (m *Model) checkAll() {
+	for _, fi := range m.funcs {
+		in := &interp{m: m, pkg: fi.pkg, fn: fi.fn, annot: m.annots[fi.fn], starOK: map[string]bool{}}
+		entry := newState()
+		if in.annot != nil {
+			for _, refs := range [][]RankRef{in.annot.Sequence, in.annot.Requires} {
+				for _, r := range refs {
+					if r.Star {
+						in.starOK[r.Rank] = true
+					}
+				}
+			}
+			for _, r := range in.annot.Requires {
+				h := entry.rank(r.Rank)
+				h.lo, h.hi, h.star = 1, 1, r.Star
+			}
+		}
+		st := in.exec(fi.decl.Body, entry)
+		in.exitCheck(st, fi.decl.Body.Rbrace)
+	}
+}
+
+func (in *interp) report(kind string, pos token.Pos, format string, args ...any) {
+	in.m.findings = append(in.m.findings, Finding{Kind: kind, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// heldDescr lists the may-held ranks, for messages.
+func (in *interp) heldDescr(st *lockState) string {
+	var rs []string
+	for r := range st.held {
+		if st.mayHold(r) {
+			rs = append(rs, r)
+		}
+	}
+	sort.Strings(rs)
+	return strings.Join(rs, ",")
+}
+
+// acquire applies one acquisition of spec at pos, reporting tower-order,
+// same-rank, and leaf-held violations first.
+func (in *interp) acquire(st *lockState, spec *LockSpec, pos token.Pos, what string) {
+	for r := range st.held {
+		if !st.mayHold(r) {
+			continue
+		}
+		hs := in.m.ranks[r]
+		if hs == nil {
+			continue
+		}
+		if hs.Leaf {
+			in.report(KindLeafAcq, pos, "%s acquires %s while leaf lock %s is held (leaf locks may acquire nothing)", what, spec.Rank, r)
+			continue
+		}
+		if spec.Leaf {
+			continue // leaf under tower is always allowed
+		}
+		switch {
+		case hs.Order > spec.Order:
+			in.report(KindOrder, pos, "%s acquires %s (order %d) while holding %s (order %d): tower order is ascending", what, spec.Rank, spec.Order, r, hs.Order)
+		case hs.Order == spec.Order && !in.starOK[spec.Rank]:
+			in.report(KindMulti, pos, "%s acquires a second %s instance (annotate sequence=%s* if this is the ascending barrier loop)", what, spec.Rank, spec.Rank)
+		}
+	}
+	h := st.rank(spec.Rank)
+	h.lo++
+	h.hi++
+	h.lastPos = pos
+}
+
+func (in *interp) release(st *lockState, rank string, star bool) {
+	h, ok := st.held[rank]
+	if !ok {
+		return
+	}
+	if star {
+		h.lo, h.hi, h.star = 0, 0, false
+		return
+	}
+	if h.hi > 0 {
+		h.hi--
+	}
+	if h.lo > 0 {
+		h.lo--
+	}
+	if h.hi == 0 {
+		h.star = false
+	}
+}
+
+// blockOp checks one blocking operation of the given class performed
+// directly in this function while st's locks are held.
+func (in *interp) blockOp(st *lockState, class string, pos token.Pos, what string) {
+	for r := range st.held {
+		if !st.mayHold(r) {
+			continue
+		}
+		spec := in.m.ranks[r]
+		if spec == nil {
+			continue
+		}
+		if hasClass(spec.NoBlock, class) || hasClass(spec.NoBlockDirect, class) {
+			in.report(KindBlock, pos, "%s while %s is held (noblock=%s)", what, r, class)
+		}
+	}
+}
+
+func hasClass(classes []string, c string) bool {
+	for _, x := range classes {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// call applies the effects of a resolved callee: annotation contract if it
+// has one, else its transitive summary.
+func (in *interp) call(st *lockState, callee *types.Func, pos token.Pos) {
+	if isSleep(callee) {
+		in.blockOp(st, ClassSleep, pos, "time.Sleep")
+	}
+	for _, c := range in.m.blocking[callee] {
+		in.blockOp(st, c, pos, fmt.Sprintf("call to %s (focuslint:blocking %s)", callee.Name(), c))
+	}
+	if a, ok := in.m.annots[callee]; ok {
+		for _, r := range a.Requires {
+			if !st.mayHold(r.Rank) || (r.Star && !st.rank(r.Rank).star) {
+				in.report(KindRequires, pos, "call to %s requires %s held (held: %s)", callee.Name(), r, in.heldDescr(st))
+			}
+		}
+		for _, r := range a.Releases {
+			in.release(st, r.Rank, r.Star)
+		}
+		for _, r := range a.Sequence {
+			spec := in.m.ranks[r.Rank]
+			if spec == nil {
+				continue
+			}
+			dup := r.Star && st.mayHold(r.Rank)
+			if dup {
+				in.report(KindMulti, pos, "call to %s locks every %s instance while one is already held", callee.Name(), r.Rank)
+			}
+			switch {
+			case a.ExitHeld:
+				if !dup {
+					in.acquire(st, spec, pos, "call to "+callee.Name())
+				}
+				h := st.rank(r.Rank)
+				h.lo, h.hi = max(h.lo, 1), max(h.hi, 1)
+				h.star = h.star || r.Star
+			case !dup:
+				// Transient: order-check against the current state
+				// without mutating it.
+				probe := st.clone()
+				in.acquire(probe, spec, pos, "call to "+callee.Name())
+			}
+		}
+		return
+	}
+	ci, ok := in.m.funcsByFn[callee]
+	if !ok {
+		return
+	}
+	var acq []string
+	for r := range ci.acquires {
+		acq = append(acq, r)
+	}
+	sort.Strings(acq)
+	for r := range st.held {
+		if !st.mayHold(r) {
+			continue
+		}
+		hs := in.m.ranks[r]
+		if hs == nil {
+			continue
+		}
+		if hs.Leaf {
+			if len(acq) > 0 {
+				in.report(KindLeafAcq, pos, "call to %s may acquire %s while leaf lock %s is held", callee.Name(), strings.Join(acq, ","), r)
+			}
+		} else {
+			for _, a := range acq {
+				as := in.m.ranks[a]
+				if as == nil || as.Leaf {
+					continue
+				}
+				if as.Order < hs.Order {
+					in.report(KindOrder, pos, "call to %s may acquire %s (order %d) while holding %s (order %d)", callee.Name(), a, as.Order, r, hs.Order)
+				} else if as.Order == hs.Order && !in.starOK[a] {
+					in.report(KindMulti, pos, "call to %s may acquire another %s instance while one is held", callee.Name(), a)
+				}
+			}
+		}
+		for c := range ci.blocks {
+			if hasClass(hs.NoBlock, c) {
+				in.report(KindBlock, pos, "call to %s may reach a %s op while %s is held (noblock=%s)", callee.Name(), c, r, c)
+			}
+		}
+	}
+}
+
+// scanExpr applies every lock/blocking/call effect inside an expression.
+// Function literals are analyzed as independent roots, not inlined.
+func (in *interp) scanExpr(e ast.Expr, st *lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			in.root(n.Body)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !in.skipChan[n] {
+				in.blockOp(st, ClassChan, n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				in.scanExpr(arg, st)
+			}
+			if fl, ok := n.Fun.(*ast.FuncLit); ok {
+				in.root(fl.Body)
+				return false
+			}
+			op, callee := in.m.classifyCall(in.pkg, n)
+			if op != nil {
+				if op.acquire {
+					in.acquire(st, op.spec, n.Pos(), in.fn.Name())
+				} else {
+					in.release(st, op.spec.Rank, false)
+				}
+			} else if callee != nil {
+				in.call(st, callee, n.Pos())
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// root checks a closure body as an independent function with no locks held
+// and no annotation.
+func (in *interp) root(body *ast.BlockStmt) {
+	sub := &interp{m: in.m, pkg: in.pkg, fn: in.fn, starOK: map[string]bool{}}
+	sub.exec(body, newState())
+	// Closures get no exit check: a closure that returns holding a lock it
+	// took for its creator (condition-variable style) has no annotation
+	// surface; the repo has none, and flagging them would only add noise.
+}
+
+// exitCheck fires where control leaves the function: any definitely-held
+// rank with no pending deferred release and no exit=held / requires
+// annotation is a leak.
+func (in *interp) exitCheck(st *lockState, pos token.Pos) {
+	if st == nil || st.unreachable {
+		return
+	}
+	if in.annot != nil && in.annot.ExitHeld {
+		return
+	}
+	required := map[string]bool{}
+	if in.annot != nil {
+		for _, r := range in.annot.Requires {
+			required[r.Rank] = true
+		}
+	}
+	var leaked []string
+	for r, h := range st.held {
+		if required[r] || st.deferStar[r] {
+			continue
+		}
+		if h.lo-st.deferred[r] > 0 {
+			leaked = append(leaked, r)
+		}
+	}
+	sort.Strings(leaked)
+	for _, r := range leaked {
+		in.report(KindExit, pos, "%s returns still holding %s (release it, defer the unlock, or annotate exit=held)", in.fn.Name(), r)
+	}
+}
+
+// deferEffects records what a deferred call will release at function exit,
+// so the exit check can net it out.
+func (in *interp) deferEffects(call *ast.CallExpr, st *lockState) {
+	op, callee := in.m.classifyCall(in.pkg, call)
+	if op != nil && !op.acquire {
+		st.deferred[op.spec.Rank]++
+		return
+	}
+	if callee != nil {
+		if a, ok := in.m.annots[callee]; ok {
+			for _, r := range a.Releases {
+				if r.Star {
+					st.deferStar[r.Rank] = true
+				} else {
+					st.deferred[r.Rank]++
+				}
+			}
+		}
+		return
+	}
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		// A deferred closure is checked as a root; additionally scan it
+		// for releases — direct Unlocks and annotated releases= callees —
+		// so `defer func() { c.unlockAll(); ... }()` nets out.
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			op, callee := in.m.classifyCall(in.pkg, c)
+			if op != nil && !op.acquire {
+				st.deferred[op.spec.Rank]++
+			} else if callee != nil {
+				if a, ok := in.m.annots[callee]; ok {
+					for _, r := range a.Releases {
+						if r.Star {
+							st.deferStar[r.Rank] = true
+						} else {
+							st.deferred[r.Rank]++
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (in *interp) findBreak(label string, loopOnly bool) *breakCtx {
+	for i := len(in.stack) - 1; i >= 0; i-- {
+		c := in.stack[i]
+		if loopOnly && !c.isLoop {
+			continue
+		}
+		if label == "" || c.label == label {
+			return c
+		}
+	}
+	return nil
+}
+
+// persistCheck compares a loop body's entry and back-edge states: a rank
+// acquired each iteration and still held at the back edge is either the
+// annotated ascending-barrier pattern (promoted to star) or a violation.
+func (in *interp) persistCheck(entry, backEdge *lockState) {
+	if backEdge == nil || backEdge.unreachable {
+		return
+	}
+	for r, h := range backEdge.held {
+		var before int
+		if eh, ok := entry.held[r]; ok {
+			before = eh.hi
+		}
+		if h.hi > before || (h.star && !entry.rank(r).star) {
+			if in.starOK[r] {
+				h.star = true
+				continue
+			}
+			in.report(KindMulti, h.lastPos, "%s acquires %s each loop iteration and holds it across iterations (annotate sequence=%s* for an ascending barrier loop)", in.fn.Name(), r, r)
+		}
+	}
+}
+
+// exec interprets one statement, returning the state after it.
+func (in *interp) exec(stmt ast.Stmt, st *lockState) *lockState {
+	if stmt == nil || st.unreachable {
+		return st
+	}
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			st = in.exec(sub, st)
+		}
+		return st
+	case *ast.ExprStmt:
+		in.scanExpr(s.X, st)
+		if c, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := c.Fun.(*ast.Ident); ok {
+				if b, ok := in.pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					st.unreachable = true
+				}
+			}
+		}
+		return st
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			in.scanExpr(e, st)
+		}
+		for _, e := range s.Lhs {
+			in.scanExpr(e, st)
+		}
+		return st
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						in.scanExpr(v, st)
+					}
+				}
+			}
+		}
+		return st
+	case *ast.IncDecStmt:
+		in.scanExpr(s.X, st)
+		return st
+	case *ast.SendStmt:
+		in.scanExpr(s.Chan, st)
+		in.scanExpr(s.Value, st)
+		if !in.skipChan[s] {
+			in.blockOp(st, ClassChan, s.Pos(), "channel send")
+		}
+		return st
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			in.scanExpr(arg, st)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			in.root(fl.Body)
+		} else if _, callee := in.m.classifyCall(in.pkg, s.Call); callee != nil {
+			if a, ok := in.m.annots[callee]; ok && len(a.Requires) > 0 {
+				in.report(KindRequires, s.Pos(), "go %s: goroutine starts with no locks but callee requires %v", callee.Name(), a.Requires)
+			}
+		}
+		return st
+	case *ast.DeferStmt:
+		for _, arg := range s.Call.Args {
+			in.scanExpr(arg, st)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			in.root(fl.Body)
+		}
+		in.deferEffects(s.Call, st)
+		return st
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			in.scanExpr(e, st)
+		}
+		in.exitCheck(st, s.Pos())
+		st.unreachable = true
+		return st
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if c := in.findBreak(label, false); c != nil {
+				c.breaks = append(c.breaks, st.clone())
+			}
+		case token.CONTINUE:
+			if c := in.findBreak(label, true); c != nil {
+				c.conts = append(c.conts, st.clone())
+			}
+		}
+		st.unreachable = true
+		return st
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = in.exec(s.Init, st)
+		}
+		in.scanExpr(s.Cond, st)
+		thenSt := in.exec(s.Body, st.clone())
+		elseSt := st
+		if s.Else != nil {
+			elseSt = in.exec(s.Else, st.clone())
+		}
+		return join(thenSt, elseSt)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = in.exec(s.Init, st)
+		}
+		in.scanExpr(s.Cond, st)
+		ctx := in.newCtx(true)
+		body := in.exec(s.Body, st.clone())
+		if s.Post != nil && !body.unreachable {
+			body = in.exec(s.Post, body)
+		}
+		in.popCtx()
+		for _, c := range ctx.conts {
+			body = join(body, c)
+		}
+		in.persistCheck(st, body)
+		var after *lockState
+		if s.Cond != nil {
+			after = join(st.clone(), body)
+		} else if body != nil && !body.unreachable {
+			// `for { ... }`: normal exit only via break, but keep the
+			// back-edge state in the join as the safe approximation.
+			after = body
+			after.unreachable = true
+		} else {
+			after = body
+		}
+		for _, b := range ctx.breaks {
+			after = join(after, b)
+		}
+		if after == nil {
+			after = st.clone()
+			after.unreachable = true
+		}
+		return after
+	case *ast.RangeStmt:
+		in.scanExpr(s.X, st)
+		if t := in.pkg.Info.Types[s.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				in.blockOp(st, ClassChan, s.Pos(), "range over channel")
+			}
+		}
+		ctx := in.newCtx(true)
+		body := in.exec(s.Body, st.clone())
+		in.popCtx()
+		for _, c := range ctx.conts {
+			body = join(body, c)
+		}
+		in.persistCheck(st, body)
+		after := join(st.clone(), body)
+		for _, b := range ctx.breaks {
+			after = join(after, b)
+		}
+		return after
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = in.exec(s.Init, st)
+		}
+		in.scanExpr(s.Tag, st)
+		return in.execClauses(s.Body, st, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = in.exec(s.Init, st)
+		}
+		return in.execClauses(s.Body, st, false)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			in.blockOp(st, ClassChan, s.Pos(), "select")
+		}
+		return in.execClauses(s.Body, st, true)
+	case *ast.LabeledStmt:
+		// Attach the label to the loop/switch it names so labeled breaks
+		// resolve; other labeled statements pass through.
+		return in.execLabeled(s, st)
+	case *ast.EmptyStmt:
+		return st
+	default:
+		return st
+	}
+}
+
+func (in *interp) execLabeled(s *ast.LabeledStmt, st *lockState) *lockState {
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Re-run exec but with the context labeled: simplest is to set a
+		// pending label consumed by the next push.
+		in.pendingLabel = s.Label.Name
+		return in.exec(inner, st)
+	default:
+		return in.exec(s.Stmt, st)
+	}
+}
+
+// execClauses runs each case/comm clause of a switch/select body from the
+// same entry state and joins the outcomes (plus any breaks).
+// markCommOp records the channel op that forms a comm clause's guard so
+// exec/scanExpr skip it — the enclosing select already reported (or, with
+// a default case, legitimately absorbed) the potential block.
+func (in *interp) markCommOp(comm ast.Stmt) {
+	if in.skipChan == nil {
+		in.skipChan = make(map[ast.Node]bool)
+	}
+	switch s := comm.(type) {
+	case *ast.SendStmt:
+		in.skipChan[s] = true
+	case *ast.ExprStmt:
+		if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			in.skipChan[u] = true
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if u, ok := s.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				in.skipChan[u] = true
+			}
+		}
+	}
+}
+
+func (in *interp) execClauses(body *ast.BlockStmt, st *lockState, isSelect bool) *lockState {
+	ctx := in.newCtx(false)
+	var after *lockState
+	hasDefault := false
+	for _, c := range body.List {
+		end := st.clone()
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				in.scanExpr(e, end)
+			}
+			for _, s2 := range cc.Body {
+				end = in.exec(s2, end)
+			}
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				in.markCommOp(cc.Comm)
+				end = in.exec(cc.Comm, end)
+			}
+			for _, s2 := range cc.Body {
+				end = in.exec(s2, end)
+			}
+		}
+		after = join(after, end)
+	}
+	in.stack = in.stack[:len(in.stack)-1]
+	if !hasDefault || after == nil {
+		after = join(after, st.clone())
+	}
+	for _, b := range ctx.breaks {
+		after = join(after, b)
+	}
+	return after
+}

@@ -1,0 +1,261 @@
+package lockmodel
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"focus/internal/lint/analysis"
+)
+
+// Model is the program-wide lock model: annotation tables, per-function
+// summaries (transitive acquire/blocking effect sets), and the findings
+// produced by checking every function body against them. It is built once
+// per Program and shared by locktower and offlatch.
+type Model struct {
+	prog *analysis.Program
+
+	specs    map[*types.Var]*LockSpec // annotated mutex fields
+	ranks    map[string]*LockSpec     // rank name -> canonical spec
+	annots   map[*types.Func]*FuncAnnot
+	blocking map[types.Object][]string // focuslint:blocking declarations
+
+	funcs     []*funcInfo // every function with a body, all packages
+	funcsByFn map[*types.Func]*funcInfo
+
+	findings []Finding
+}
+
+// funcInfo pairs a function's syntax with its flow-insensitive summary.
+type funcInfo struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *analysis.Package
+
+	// Flow-insensitive effect summary, closed over the static call graph:
+	// ranks this function may acquire (directly or transitively) and
+	// blocking classes it may perform. Calls through closures, function
+	// values, and unannotated interface methods contribute nothing — the
+	// documented soundness boundary.
+	acquires map[string]bool
+	blocks   map[string]bool
+	calls    map[*types.Func]bool
+}
+
+// For builds (once) and returns the Program's lock model.
+func For(prog *analysis.Program) *Model {
+	return prog.Cached("lockmodel", func() any {
+		m := &Model{
+			prog:      prog,
+			specs:     make(map[*types.Var]*LockSpec),
+			ranks:     make(map[string]*LockSpec),
+			annots:    make(map[*types.Func]*FuncAnnot),
+			blocking:  make(map[types.Object][]string),
+			funcsByFn: make(map[*types.Func]*funcInfo),
+		}
+		m.collect()
+		m.validateAnnots()
+		m.buildSummaries()
+		m.checkAll()
+		return m
+	}).(*Model)
+}
+
+// Findings returns the checker results of the given kinds, restricted to
+// positions inside target's files.
+func (m *Model) Findings(target *analysis.Package, kinds ...string) []Finding {
+	want := make(map[string]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	inTarget := make(map[string]bool, len(target.Files))
+	for _, f := range target.Files {
+		inTarget[m.prog.Fset.Position(f.Pos()).Filename] = true
+	}
+	var out []Finding
+	for _, f := range m.findings {
+		if want[f.Kind] && f.Pos.IsValid() && inTarget[m.prog.Fset.Position(f.Pos).Filename] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// validateAnnots checks every rank referenced by a function annotation
+// against the declared rank table.
+func (m *Model) validateAnnots() {
+	for fn, a := range m.annots {
+		for _, refs := range [][]RankRef{a.Sequence, a.Releases, a.Requires} {
+			for _, r := range refs {
+				if _, ok := m.ranks[r.Rank]; !ok {
+					m.findings = append(m.findings, Finding{
+						Kind: KindAnnot, Pos: fn.Pos(),
+						Msg: fmt.Sprintf("annotation on %s references undeclared rank %q", fn.Name(), r.Rank),
+					})
+				}
+			}
+		}
+	}
+}
+
+// lockOp is a recognized (*sync.Mutex/RWMutex) method call on an annotated
+// field.
+type lockOp struct {
+	spec    *LockSpec
+	acquire bool
+}
+
+// classifyCall recognizes what a call expression does to the lock state:
+// a lock op on an annotated field, or a call to a resolvable callee.
+func (m *Model) classifyCall(pkg *analysis.Package, call *ast.CallExpr) (*lockOp, *types.Func) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+				return nil, fn
+			}
+		}
+		return nil, nil
+	}
+	fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return nil, nil
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+		var acquire bool
+		switch fn.Name() {
+		case "Lock", "RLock":
+			acquire = true
+		case "Unlock", "RUnlock":
+			acquire = false
+		default:
+			return nil, fn
+		}
+		if recv, ok := sel.X.(*ast.SelectorExpr); ok {
+			if s := pkg.Info.Selections[recv]; s != nil && s.Kind() == types.FieldVal {
+				if v, ok := s.Obj().(*types.Var); ok {
+					if spec, ok := m.specs[v]; ok {
+						return &lockOp{spec: spec, acquire: acquire}, nil
+					}
+				}
+			}
+		}
+		return nil, fn
+	}
+	return nil, fn
+}
+
+// isSleep reports whether fn is time.Sleep.
+func isSleep(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep"
+}
+
+// buildSummaries scans every function body for direct effects and closes
+// the effect sets over the static call graph to a fixed point.
+func (m *Model) buildSummaries() {
+	for _, pkg := range m.prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				fi := &funcInfo{
+					fn: fn, decl: fd, pkg: pkg,
+					acquires: make(map[string]bool),
+					blocks:   make(map[string]bool),
+					calls:    make(map[*types.Func]bool),
+				}
+				m.scanDirect(fi)
+				m.funcs = append(m.funcs, fi)
+				m.funcsByFn[fn] = fi
+			}
+		}
+	}
+	sort.Slice(m.funcs, func(i, j int) bool { return m.funcs[i].fn.Pos() < m.funcs[j].fn.Pos() })
+
+	// Fixed point: propagate callee effects into callers until stable.
+	// The lattice is tiny (rank set x 3 classes), so a naive sweep
+	// converges in a handful of rounds.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range m.funcs {
+			for callee := range fi.calls {
+				ci, ok := m.funcsByFn[callee]
+				if !ok {
+					continue
+				}
+				for r := range ci.acquires {
+					if !fi.acquires[r] {
+						fi.acquires[r] = true
+						changed = true
+					}
+				}
+				for b := range ci.blocks {
+					if !fi.blocks[b] {
+						fi.blocks[b] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanDirect records fi's direct lock acquisitions, blocking operations,
+// and resolvable callees. Function literals are skipped: closure bodies
+// are checked as separate roots and their effects do not flow through
+// call sites.
+func (m *Model) scanDirect(fi *funcInfo) {
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt, *ast.SelectStmt:
+			fi.blocks[ClassChan] = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				fi.blocks[ClassChan] = true
+			}
+		case *ast.RangeStmt:
+			if t := fi.pkg.Info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					fi.blocks[ClassChan] = true
+				}
+			}
+		case *ast.CallExpr:
+			op, callee := m.classifyCall(fi.pkg, n)
+			if op != nil {
+				if op.acquire {
+					fi.acquires[op.spec.Rank] = true
+				}
+				return true
+			}
+			if callee == nil {
+				return true
+			}
+			if isSleep(callee) {
+				fi.blocks[ClassSleep] = true
+			}
+			for _, c := range m.blocking[callee] {
+				fi.blocks[c] = true
+			}
+			if a, ok := m.annots[callee]; ok {
+				// Annotated barrier/release helpers contribute their
+				// declared sequence; their bodies are also summarized if
+				// in-module, which converges to the same set.
+				for _, r := range a.Sequence {
+					fi.acquires[r.Rank] = true
+				}
+			}
+			fi.calls[callee] = true
+		}
+		return true
+	})
+}

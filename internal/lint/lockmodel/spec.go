@@ -1,0 +1,354 @@
+// Package lockmodel turns the repo's machine-readable lock annotations into
+// per-function lock summaries and checks them: it is the shared engine under
+// the locktower and offlatch analyzers.
+//
+// Annotation grammar (all forms accept `//focuslint:` and `// focuslint:`):
+//
+// On a mutex struct field:
+//
+//	//focuslint:lock rank=<name> order=<n>
+//	//focuslint:lock rank=<name> leaf [noblock=<class>,...] [noblockdirect=<class>,...]
+//
+// order places the lock in the tower (locks may only be acquired in
+// strictly ascending order); leaf marks a terminal lock outside the tower —
+// it may be acquired while any tower lock is held, but nothing at all may
+// be acquired while it is held. noblock lists blocking-operation classes
+// (io, chan, sleep) that must not be reachable — transitively, through the
+// call graph — while the lock is held; noblockdirect restricts only
+// operations appearing directly in the holding function's body, the sound
+// compromise for tower locks whose critical sections legitimately reach the
+// buffer pool (see DESIGN.md "Statically checked invariants").
+//
+// On a function or method:
+//
+//	//focuslint:lock sequence=<rank[*]>,... [exit=held]
+//	//focuslint:lock releases=<rank[*]>,...
+//	//focuslint:lock requires=<rank[*]>,...
+//
+// sequence declares the ranks a barrier function acquires, in order; a
+// trailing * means every instance of that rank, acquired in a loop in
+// ascending id order (the one pattern allowed to hold two same-rank locks).
+// exit=held says the function returns with the sequence still held.
+// releases declares the ranks a function releases on behalf of its caller;
+// requires declares locks the caller must already hold (checked at every
+// static call site).
+//
+// On a function or interface method:
+//
+//	//focuslint:blocking <class>,...
+//
+// declares the callee to perform blocking operations of the given classes
+// (the DiskManager page-I/O methods carry `blocking io`).
+package lockmodel
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"focus/internal/lint/analysis"
+	"focus/internal/lint/driver"
+)
+
+// Blocking-operation classes.
+const (
+	ClassIO    = "io"    // annotated page-I/O callees (DiskManager et al)
+	ClassChan  = "chan"  // channel send/receive/select/range
+	ClassSleep = "sleep" // time.Sleep
+)
+
+// LockSpec describes one annotated mutex field.
+type LockSpec struct {
+	Rank          string
+	Order         int  // tower position; 0 for leaves
+	Leaf          bool // terminal: nothing may be acquired while held
+	NoBlock       []string
+	NoBlockDirect []string
+}
+
+// RankRef names a rank in a function annotation; Star means "every
+// instance of the rank".
+type RankRef struct {
+	Rank string
+	Star bool
+}
+
+func (r RankRef) String() string {
+	if r.Star {
+		return r.Rank + "*"
+	}
+	return r.Rank
+}
+
+// FuncAnnot is a parsed //focuslint:lock function annotation.
+type FuncAnnot struct {
+	Sequence []RankRef
+	ExitHeld bool
+	Releases []RankRef
+	Requires []RankRef
+}
+
+// Finding kinds produced by the checker. locktower reports the ordering
+// family; offlatch reports KindBlock.
+const (
+	KindAnnot    = "annot"    // malformed or inconsistent annotation
+	KindOrder    = "order"    // acquisition out of tower order
+	KindMulti    = "multi"    // two instances of one rank without a star annotation
+	KindLeafAcq  = "leafacq"  // acquisition while a leaf lock is held
+	KindRequires = "requires" // call site missing a callee's required lock
+	KindExit     = "exit"     // lock still held at return without exit=held
+	KindBlock    = "block"    // banned blocking operation while a lock is held
+)
+
+// Finding is one checker result, routed to an analyzer by Kind.
+type Finding struct {
+	Kind string
+	Pos  token.Pos
+	Msg  string
+}
+
+func parseRankList(s string) ([]RankRef, error) {
+	var out []RankRef
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("empty rank in %q", s)
+		}
+		r := RankRef{Rank: part}
+		if strings.HasSuffix(part, "*") {
+			r = RankRef{Rank: part[:len(part)-1], Star: true}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// parseLockDirective parses the rest of a `focuslint:lock` directive into
+// either a field spec (rank=...) or a function annotation.
+func parseLockDirective(rest string) (spec *LockSpec, annot *FuncAnnot, err error) {
+	for _, tok := range strings.Fields(rest) {
+		key, val, hasVal := strings.Cut(tok, "=")
+		switch key {
+		case "rank":
+			if spec == nil {
+				spec = &LockSpec{}
+			}
+			spec.Rank = val
+		case "order":
+			if spec == nil {
+				spec = &LockSpec{}
+			}
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return nil, nil, fmt.Errorf("order wants a positive integer, got %q", val)
+			}
+			spec.Order = n
+		case "leaf":
+			if spec == nil {
+				spec = &LockSpec{}
+			}
+			spec.Leaf = true
+		case "noblock", "noblockdirect":
+			if spec == nil {
+				spec = &LockSpec{}
+			}
+			classes := strings.Split(val, ",")
+			for _, c := range classes {
+				if c != ClassIO && c != ClassChan && c != ClassSleep {
+					return nil, nil, fmt.Errorf("unknown blocking class %q", c)
+				}
+			}
+			if key == "noblock" {
+				spec.NoBlock = classes
+			} else {
+				spec.NoBlockDirect = classes
+			}
+		case "sequence", "releases", "requires":
+			if annot == nil {
+				annot = &FuncAnnot{}
+			}
+			refs, err := parseRankList(val)
+			if err != nil {
+				return nil, nil, err
+			}
+			switch key {
+			case "sequence":
+				annot.Sequence = refs
+			case "releases":
+				annot.Releases = refs
+			case "requires":
+				annot.Requires = refs
+			}
+		case "exit":
+			if annot == nil {
+				annot = &FuncAnnot{}
+			}
+			if val != "held" {
+				return nil, nil, fmt.Errorf("exit wants =held, got %q", val)
+			}
+			annot.ExitHeld = true
+		default:
+			_ = hasVal
+			return nil, nil, fmt.Errorf("unknown focuslint:lock token %q", tok)
+		}
+	}
+	if spec != nil && annot != nil {
+		return nil, nil, fmt.Errorf("directive mixes field spec and function annotation")
+	}
+	if spec != nil {
+		if spec.Rank == "" {
+			return nil, nil, fmt.Errorf("field spec needs rank=")
+		}
+		if spec.Leaf == (spec.Order > 0) {
+			return nil, nil, fmt.Errorf("rank %q needs exactly one of order=<n> or leaf", spec.Rank)
+		}
+	}
+	if spec == nil && annot == nil {
+		return nil, nil, fmt.Errorf("empty focuslint:lock directive")
+	}
+	return spec, annot, nil
+}
+
+// lockDirectives extracts the focuslint:lock / focuslint:blocking
+// directives from a doc and/or line comment pair.
+func lockDirectives(groups ...*ast.CommentGroup) (lock []string, blocking []string, poss []token.Pos) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			kw, rest, ok := driver.Directive(c.Text)
+			if !ok {
+				continue
+			}
+			switch kw {
+			case "lock":
+				lock = append(lock, rest)
+				poss = append(poss, c.Pos())
+			case "blocking":
+				blocking = append(blocking, rest)
+				poss = append(poss, c.Pos())
+			}
+		}
+	}
+	return lock, blocking, poss
+}
+
+// collect walks every package and gathers lock specs (keyed by field
+// object), function annotations, and blocking declarations.
+func (m *Model) collect() {
+	for _, pkg := range m.prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.StructType:
+					m.collectStruct(pkg, n)
+				case *ast.InterfaceType:
+					m.collectInterface(pkg, n)
+				case *ast.FuncDecl:
+					m.collectFunc(pkg, n)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func (m *Model) collectStruct(pkg *analysis.Package, st *ast.StructType) {
+	for _, f := range st.Fields.List {
+		locks, _, poss := lockDirectives(f.Doc, f.Comment)
+		for i, rest := range locks {
+			spec, annot, err := parseLockDirective(rest)
+			if err != nil || annot != nil || spec == nil {
+				if err == nil {
+					err = fmt.Errorf("function annotation on a struct field")
+				}
+				m.annotErr(poss[i], err)
+				continue
+			}
+			if prev, ok := m.ranks[spec.Rank]; ok {
+				if prev.Order != spec.Order || prev.Leaf != spec.Leaf {
+					m.annotErr(poss[i], fmt.Errorf("rank %q redeclared with different order/leaf", spec.Rank))
+					continue
+				}
+			} else {
+				for name, other := range m.ranks {
+					if !spec.Leaf && !other.Leaf && other.Order == spec.Order {
+						m.annotErr(poss[i], fmt.Errorf("rank %q reuses order %d of rank %q", spec.Rank, spec.Order, name))
+					}
+				}
+				m.ranks[spec.Rank] = spec
+			}
+			for _, name := range f.Names {
+				if obj, ok := pkg.Info.Defs[name].(*types.Var); ok {
+					m.specs[obj] = m.ranks[spec.Rank]
+				}
+			}
+			if len(f.Names) == 0 {
+				m.annotErr(poss[i], fmt.Errorf("lock annotation on an embedded field (name the mutex)"))
+			}
+		}
+	}
+}
+
+func (m *Model) collectInterface(pkg *analysis.Package, it *ast.InterfaceType) {
+	for _, f := range it.Methods.List {
+		_, blocking, poss := lockDirectives(f.Doc, f.Comment)
+		for i, rest := range blocking {
+			classes, err := parseClasses(rest)
+			if err != nil {
+				m.annotErr(poss[i], err)
+				continue
+			}
+			for _, name := range f.Names {
+				if fn, ok := pkg.Info.Defs[name].(*types.Func); ok {
+					m.blocking[fn] = classes
+				}
+			}
+		}
+	}
+}
+
+func (m *Model) collectFunc(pkg *analysis.Package, decl *ast.FuncDecl) {
+	fn, _ := pkg.Info.Defs[decl.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	locks, blocking, poss := lockDirectives(decl.Doc)
+	for i, rest := range locks {
+		spec, annot, err := parseLockDirective(rest)
+		if err != nil || spec != nil || annot == nil {
+			if err == nil {
+				err = fmt.Errorf("field spec on a function declaration")
+			}
+			m.annotErr(poss[i], err)
+			continue
+		}
+		m.annots[fn] = annot
+	}
+	for i, rest := range blocking {
+		classes, err := parseClasses(rest)
+		if err != nil {
+			m.annotErr(poss[i], err)
+			continue
+		}
+		m.blocking[fn] = classes
+	}
+}
+
+func parseClasses(rest string) ([]string, error) {
+	classes := strings.Split(strings.TrimSpace(rest), ",")
+	for _, c := range classes {
+		if c != ClassIO && c != ClassChan && c != ClassSleep {
+			return nil, fmt.Errorf("unknown blocking class %q", c)
+		}
+	}
+	return classes, nil
+}
+
+func (m *Model) annotErr(pos token.Pos, err error) {
+	m.findings = append(m.findings, Finding{Kind: KindAnnot, Pos: pos, Msg: err.Error()})
+}

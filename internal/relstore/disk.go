@@ -40,8 +40,10 @@ func (s *IOStats) Reset() {
 // DiskManager is the page-granular storage device under the buffer pool.
 type DiskManager interface {
 	// ReadPage fills buf (len PageSize) with the page's bytes.
+	//focuslint:blocking io
 	ReadPage(pid PageID, buf []byte) error
 	// WritePage persists buf (len PageSize) as the page's bytes.
+	//focuslint:blocking io
 	WritePage(pid PageID, buf []byte) error
 	// Allocate reserves a page and returns its ID, reusing a freed page
 	// when one is available. Reused pages are not zeroed; callers must
@@ -65,6 +67,8 @@ type DiskManager interface {
 // simulates a spinning disk so that access-path differences show up in wall
 // time as well as in the I/O counters.
 type MemDisk struct {
+	// Pure leaf: the simulated-latency sleep always runs after mu drops.
+	//focuslint:lock rank=memdisk leaf noblock=io,chan,sleep
 	mu      sync.Mutex
 	pages   [][]byte
 	free    []PageID
@@ -197,6 +201,9 @@ func (d *MemDisk) Close() error { return nil }
 // free list is kept in memory only; a reopened file starts with no free
 // pages (there is no persistent catalog to recover them from yet).
 type FileDisk struct {
+	// Pure leaf guarding the allocation metadata; the pread/pwrite syscalls
+	// run outside it (see ReadPage/WritePage).
+	//focuslint:lock rank=filedisk leaf noblock=io,chan,sleep
 	mu    sync.Mutex
 	f     *os.File
 	n     int64

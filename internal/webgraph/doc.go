@@ -32,4 +32,12 @@
 // from the page's seed on every Fetch, so multi-ten-thousand-page webs stay
 // cheap. Ground-truth accessors (true topic, true graph) exist for
 // evaluation only; the crawler must not use them.
+//
+// The package's RNG streams are golden-pinned: with every hostility feature
+// off, a run must consume bit-identical random sequences to the goldens.
+// focuslint's gatedrng analyzer enforces that (see the marker below) —
+// every draw outside the baseline generators must be dominated by a
+// feature-flag guard.
+//
+//focuslint:rng-package
 package webgraph

@@ -53,6 +53,9 @@ type FetchResult struct {
 }
 
 type fetchState struct {
+	// Pure leaf: latency/outage decisions commit under it, but the
+	// simulated fetch sleep always runs after it drops.
+	//focuslint:lock rank=fetchstate leaf noblock=io,chan,sleep
 	mu       sync.Mutex
 	failRng  *rand.Rand
 	hosts    map[string]*hostFault

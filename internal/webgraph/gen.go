@@ -132,7 +132,7 @@ func (c Config) withDefaults() Config {
 		c.Tree = DefaultTree()
 	}
 	def := func(p *int, v int) {
-		if *p == 0 {
+		if *p <= 0 {
 			*p = v
 		}
 	}
@@ -147,7 +147,7 @@ func (c Config) withDefaults() Config {
 		}
 	}
 	def(&c.NumPages, 20000)
-	if c.NumServers == 0 {
+	if c.NumServers <= 0 {
 		c.NumServers = c.NumPages / 60
 		if c.NumServers < 8 {
 			c.NumServers = 8
@@ -170,7 +170,7 @@ func (c Config) withDefaults() Config {
 	def(&c.LocalityWindow, 30)
 	deff(&c.ShortcutProb, 0.06)
 	deff(&c.PopularSkew, 0.5)
-	if c.PopularPages == 0 {
+	if c.PopularPages <= 0 {
 		c.PopularPages = c.NumPages / 100
 		if c.PopularPages < 50 {
 			c.PopularPages = 50
@@ -231,6 +231,8 @@ type vocabulary struct {
 
 // Generate builds a web from the configuration. Generation is deterministic
 // for a given Config.
+//
+//focuslint:rng baseline
 func Generate(cfg Config) (*Web, error) {
 	cfg = cfg.withDefaults()
 	if cfg.NumPages < 100 {
@@ -362,6 +364,8 @@ func (w *Web) buildAffinities() {
 
 // assignServers places ~70% of each topic's pages on topic-affine servers
 // (in chain-position clusters) and the rest on shared mega-servers.
+//
+//focuslint:rng baseline
 func (w *Web) assignServers(rng *rand.Rand) {
 	cfg := w.Cfg
 	shared := cfg.NumServers / 4
@@ -422,6 +426,8 @@ func (w *Web) assignServers(rng *rand.Rand) {
 
 // pickNear picks a chain member near position center within +/- window,
 // wrapping around; it never returns the center itself.
+//
+//focuslint:rng baseline
 func pickNear(chain []int32, center, window int, rng *rand.Rand) (int32, bool) {
 	n := len(chain)
 	if n < 2 {
@@ -443,6 +449,9 @@ func pickNear(chain []int32, center, window int, rng *rand.Rand) (int32, bool) {
 	return chain[(center+1)%n], true
 }
 
+// generateLinks wires the radius-1/radius-2 link structure.
+//
+//focuslint:rng baseline
 func (w *Web) generateLinks(rng *rand.Rand) {
 	cfg := w.Cfg
 	leaves := cfg.Tree.Leaves()
@@ -555,6 +564,8 @@ func (w *Web) TopicPages(c taxonomy.NodeID) []int32 { return w.topicPages[c] }
 func (w *Web) NumServersUsed() int { return w.Cfg.NumServers }
 
 // tokensOf regenerates the page's token stream from its seed.
+//
+//focuslint:rng baseline
 func (w *Web) tokensOf(p *Page) []string {
 	cfg := w.Cfg
 	rng := rand.New(rand.NewSource(p.seed))
@@ -579,6 +590,8 @@ func (w *Web) tokensOf(p *Page) []string {
 
 // pickTopicWord draws from a topic vocabulary with a mild rank bias (rank 0,
 // the topic name, is most likely).
+//
+//focuslint:rng baseline
 func pickTopicWord(words []string, rng *rand.Rand) string {
 	u := rng.Float64()
 	idx := int(u * u * float64(len(words)))
@@ -588,6 +601,10 @@ func pickTopicWord(words []string, rng *rand.Rand) string {
 	return words[idx]
 }
 
+// pickBackground draws one background-vocabulary word (Zipf-ish via the
+// precomputed cumulative distribution).
+//
+//focuslint:rng baseline
 func (w *Web) pickBackground(rng *rand.Rand) string {
 	u := rng.Float64()
 	i := sort.SearchFloat64s(w.vocab.bgCum, u)
