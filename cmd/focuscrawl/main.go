@@ -36,6 +36,9 @@ func main() {
 		unswept = flag.Bool("unroutedsweep", false, "disable dst-routing of incoming-weight sweeps (probe every LINK stripe per visit; A/B measurement)")
 		polite  = flag.Bool("polite", false, "enable the politeness stack: per-host pacing, retry backoff, circuit breakers")
 		hostile = flag.Int("hostile", 0, "web hostility level (eval.HostileWeb): per-server rate limits, outages, extra timeouts; 0 = the plain web")
+		dbpath  = flag.String("dbpath", "", "back the crawl relations with this durable file instead of memory (required for -checkpointevery and -resume)")
+		ckevery = flag.Int64("checkpointevery", 0, "checkpoint the crawl every N visits (0 = only at exit; needs -dbpath)")
+		resume  = flag.Bool("resume", false, "resume the crawl recorded in -dbpath from its last checkpoint instead of starting fresh")
 	)
 	flag.Parse()
 
@@ -77,17 +80,31 @@ func main() {
 	if *polite {
 		ccfg = eval.PoliteCrawl(ccfg)
 	}
-	sys, err := core.NewSystem(core.Config{
+	if (*ckevery > 0 || *resume) && *dbpath == "" {
+		fmt.Fprintln(os.Stderr, "-checkpointevery and -resume need -dbpath")
+		os.Exit(2)
+	}
+	ccfg.CheckpointEvery = *ckevery
+	syscfg := core.Config{
 		Web:        wcfg,
 		GoodTopics: []string{*topic},
 		Crawl:      ccfg,
 		PoolShards: *pshards,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		DBPath:     *dbpath,
 	}
-	if err := sys.SeedTopic(*topic, *seeds); err != nil {
+	var sys *core.System
+	var err error
+	if *resume {
+		// The recovered crawl is already seeded; just spend the remaining
+		// budget.
+		sys, err = core.ResumeSystem(syscfg)
+	} else {
+		sys, err = core.NewSystem(syscfg)
+		if err == nil {
+			err = sys.SeedTopic(*topic, *seeds)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -96,10 +113,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *dbpath != "" {
+		// Final checkpoint + close, so the file is resumable at exactly
+		// this state.
+		defer func() {
+			if err := sys.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	fmt.Printf("crawl finished in %v\n", res.Elapsed.Round(1e6))
-	fmt.Printf("  visited=%d fetches=%d failed=%d dead=%d distills=%d stagnated=%v\n",
-		res.Visited, res.Fetches, res.Failed, res.Dead, res.Distills, res.Stagnated)
+	fmt.Printf("  visited=%d fetches=%d failed=%d dead=%d distills=%d checkpoints=%d stagnated=%v\n",
+		res.Visited, res.Fetches, res.Failed, res.Dead, res.Distills, res.Checkpoints, res.Stagnated)
 	if res.Failed > 0 {
 		fmt.Printf("  failures: timeout=%d notfound=%d ratelimited=%d retries=%d breakertrips=%d\n",
 			res.TimeoutFailures, res.NotFoundFailures, res.RateLimitedFailures,

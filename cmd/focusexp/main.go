@@ -37,7 +37,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to run: 5, 6, 7, 8a, 8b, 8c, 8d, scale, stall, classify, sweep, hostile, cores, pool, all")
+		fig        = flag.String("fig", "all", "figure to run: 5, 6, 7, 8a, 8b, 8c, 8d, scale, stall, classify, sweep, hostile, cores, pool, recovery, all")
 		seed       = flag.Int64("seed", 1999, "random seed")
 		pages      = flag.Int("pages", 30000, "synthetic web size for crawl experiments")
 		budget     = flag.Int64("budget", 4000, "fetch budget for crawl experiments")
@@ -50,7 +50,8 @@ func main() {
 		cpar       = flag.Int("classifypar", 0, "classifier-stage workers (batch queue partitioned by did) for the classify figure (0/1 = one stage)")
 		cbatch     = flag.Int("classifybatch", 0, "classify figure: sweep {1, N} instead of the default batch sizes (0 = default sweep)")
 		poolshards = flag.Int("poolshards", 0, "pool figure: sweep {1, N} buffer-pool shards instead of the default {1, 4, 16} (0 = default sweep)")
-		jsonPath   = flag.String("json", "", "sweep/hostile/cores/pool figures: also write that study as JSON to this path (the CI BENCH_sweep.json / BENCH_hostile.json / BENCH_cores.json / BENCH_pool.json artifacts; use with a single -fig)")
+		jsonPath   = flag.String("json", "", "sweep/hostile/cores/pool/recovery figures: also write that study as JSON to this path (the CI BENCH_sweep.json / BENCH_hostile.json / BENCH_cores.json / BENCH_pool.json / BENCH_recovery.json artifacts; use with a single -fig)")
+		dbpath     = flag.String("dbpath", "", "sweep/hostile/pool figures: back each run's crawl relations with real durable files at this path prefix (removed after measurement) instead of the latency-simulated memory disk; the recovery figure always uses durable files")
 	)
 	flag.Parse()
 
@@ -215,6 +216,7 @@ func main() {
 		r, err := eval.RunSweepScaling(eval.SweepScalingConfig{
 			Web:   webgraph.Config{Seed: *seed, TopicWeights: map[string]float64{*topic: *weight}},
 			Topic: *topic, Budget: *budget / 4,
+			DBPath: *dbpath,
 		})
 		if err != nil {
 			return err
@@ -242,6 +244,7 @@ func main() {
 		// seed, topic, and budget pass through.
 		r, err := eval.RunHostile(eval.HostileConfig{
 			Seed: *seed, Topic: *topic, Budget: *budget / 4,
+			DBPath: *dbpath,
 		})
 		if err != nil {
 			return err
@@ -308,6 +311,33 @@ func main() {
 			Topic:  *topic,
 			Budget: *budget / 4,
 			Shards: shards,
+			DBPath: *dbpath,
+		})
+		if err != nil {
+			return err
+		}
+		r.Render(os.Stdout)
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				return err
+			}
+			if err := r.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	})
+
+	run("recovery", func() error {
+		// Checkpoint/recovery: randomized kill-and-resume trials checked
+		// bit-identical against the uninterrupted run, plus the checkpoint
+		// throughput overhead (acceptance ceiling 15%). Always durable —
+		// the study is about the durable files.
+		r, err := eval.RunRecovery(eval.RecoveryConfig{
+			Seed: *seed, Topic: *topic,
 		})
 		if err != nil {
 			return err

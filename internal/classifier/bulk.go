@@ -22,13 +22,15 @@ func DocSchema() *relstore.Schema {
 	)
 }
 
-// InsertDoc appends one document's term vector to a DOCUMENT table.
+// InsertDoc appends one document's term vector to a DOCUMENT table, in
+// ascending tid order so the stored row order (and everything downstream
+// that sums in row order) is deterministic across runs.
 func InsertDoc(tb *relstore.Table, did int64, v textproc.TermVector) error {
-	for tid, freq := range v {
+	for _, tid := range sortedTids(v) {
 		_, err := tb.Insert(relstore.Tuple{
 			relstore.I64(did),
 			relstore.I64(int64(tid)),
-			relstore.I32(freq),
+			relstore.I32(v[tid]),
 		})
 		if err != nil {
 			return err

@@ -3,6 +3,7 @@ package classifier
 import (
 	"encoding/binary"
 	"math"
+	"sort"
 	"time"
 
 	"focus/internal/relstore"
@@ -48,7 +49,11 @@ type thetaLookup func(c0 taxonomy.NodeID, tid uint32) (entries []childTheta, ok 
 // accumulate per-child log-likelihoods over the document's feature terms
 // (present entries add freq*logtheta, absent children pay freq*(-logdenom)),
 // normalize so sibling probabilities sum to the parent's, and push down.
+// Terms are visited in ascending tid order, not map order: float accumulation
+// is order-sensitive at the ulp level, and a crawl resumed from a checkpoint
+// can only replay bit-identically if classification is deterministic.
 func (m *Model) posterior(v textproc.TermVector, lookup thetaLookup) (Posterior, error) {
+	tids := sortedTids(v)
 	post := Posterior{m.Tree.Root.ID: 1}
 	for _, c0 := range m.Tree.Internal() {
 		kids := m.kids[c0.ID]
@@ -62,7 +67,8 @@ func (m *Model) posterior(v textproc.TermVector, lookup thetaLookup) (Posterior,
 			L[i] = m.logPrior[k.ID]
 			pos[k.ID] = i
 		}
-		for tid, freq := range v {
+		for _, tid := range tids {
+			freq := v[tid]
 			entries, ok, err := lookup(c0.ID, tid)
 			if err != nil {
 				return nil, err
@@ -87,6 +93,17 @@ func (m *Model) posterior(v textproc.TermVector, lookup thetaLookup) (Posterior,
 		}
 	}
 	return post, nil
+}
+
+// sortedTids returns the vector's term ids in ascending order — the
+// deterministic iteration order shared by every classification path.
+func sortedTids(v textproc.TermVector) []uint32 {
+	tids := make([]uint32, 0, len(v))
+	for tid := range v {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	return tids
 }
 
 // softmaxAt returns exp(L[i]) / sum_j exp(L[j]), max-shifted for stability.

@@ -36,6 +36,14 @@ type Config struct {
 	// PoolShards partitions the buffer pool into independent shards with
 	// off-latch miss I/O (0/1 = one shard, the serial seed semantics).
 	PoolShards int
+	// DBPath, when set, backs the crawl relations with a durable file
+	// (relstore.CreateFile for a fresh system, relstore.OpenFile for
+	// ResumeSystem) instead of an in-memory disk, enabling
+	// Crawl.CheckpointEvery and crash recovery. The classifier's term
+	// statistics stay in a side in-memory DB either way: they are a pure
+	// function of the web and config, so a restart retrains them, and
+	// keeping them out of the durable file keeps checkpoints small.
+	DBPath string
 }
 
 // System is a ready-to-run Focus instance.
@@ -91,9 +99,9 @@ func NewSystem(cfg Config) (*System, error) {
 	return NewSystemOnWeb(web, cfg)
 }
 
-// NewSystemOnWeb builds a system over an existing web (so experiments can
-// run several crawlers against the same world).
-func NewSystemOnWeb(web *webgraph.Web, cfg Config) (*System, error) {
+// markGoodTopics marks cfg.GoodTopics on the web's taxonomy and applies the
+// config defaults shared by the fresh and resume paths.
+func markGoodTopics(web *webgraph.Web, cfg *Config) (*taxonomy.Tree, error) {
 	tree := web.Cfg.Tree
 	for _, name := range cfg.GoodTopics {
 		node := tree.ByName(name)
@@ -113,12 +121,46 @@ func NewSystemOnWeb(web *webgraph.Web, cfg Config) (*System, error) {
 	if cfg.Frames <= 0 {
 		cfg.Frames = 4096
 	}
-	db := relstore.Open(relstore.Options{Frames: cfg.Frames, PoolShards: cfg.PoolShards})
+	return tree, nil
+}
+
+// trainModel trains the classifier on examples of every leaf topic into db.
+// Training is a pure function of the web and config, so both the fresh and
+// the resume path produce the same model.
+func trainModel(web *webgraph.Web, tree *taxonomy.Tree, cfg Config, db *relstore.DB) (*classifier.Model, error) {
 	examples := classifier.Examples{}
 	for _, leaf := range tree.Leaves() {
 		examples[leaf.ID] = web.ExampleDocs(leaf.ID, cfg.ExamplesPerTopic)
 	}
-	model, err := classifier.Train(db, tree, examples, cfg.Train)
+	return classifier.Train(db, tree, examples, cfg.Train)
+}
+
+// NewSystemOnWeb builds a system over an existing web (so experiments can
+// run several crawlers against the same world). With Config.DBPath set, the
+// crawl relations live in a fresh durable file, the classifier trains into a
+// side in-memory DB (see Config.DBPath), and checkpoints automatically carry
+// the web's network-simulation state unless the caller set
+// Crawl.CheckpointExtra itself.
+func NewSystemOnWeb(web *webgraph.Web, cfg Config) (*System, error) {
+	tree, err := markGoodTopics(web, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts := relstore.Options{Frames: cfg.Frames, PoolShards: cfg.PoolShards}
+	var db, trainDB *relstore.DB
+	if cfg.DBPath != "" {
+		if db, err = relstore.CreateFile(cfg.DBPath, opts); err != nil {
+			return nil, err
+		}
+		trainDB = relstore.Open(opts)
+		if cfg.Crawl.CheckpointExtra == nil {
+			cfg.Crawl.CheckpointExtra = web.ExportFetchState
+		}
+	} else {
+		db = relstore.Open(opts)
+		trainDB = db
+	}
+	model, err := trainModel(web, tree, cfg, trainDB)
 	if err != nil {
 		return nil, err
 	}
@@ -127,6 +169,68 @@ func NewSystemOnWeb(web *webgraph.Web, cfg Config) (*System, error) {
 		return nil, err
 	}
 	return &System{Web: web, Tree: tree, DB: db, Model: model, Crawler: cr}, nil
+}
+
+// ResumeSystem reopens a durable crawl database (Config.DBPath) and rebuilds
+// a System that continues the crawl from its last checkpoint: the web is
+// regenerated from Config.Web and its network-simulation state imported from
+// the checkpoint's Extra blob (so the deterministic web replays identically
+// across the restart), the classifier is retrained into a side in-memory DB,
+// and the crawler is rebuilt over the recovered relations with
+// crawler.Resume. The recovered crawl is already seeded — do not SeedTopic
+// again; just Run with the remaining budget.
+func ResumeSystem(cfg Config) (*System, error) {
+	if cfg.DBPath == "" {
+		return nil, errors.New("core: ResumeSystem requires Config.DBPath")
+	}
+	web, err := webgraph.Generate(cfg.Web)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := markGoodTopics(web, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts := relstore.Options{Frames: cfg.Frames, PoolShards: cfg.PoolShards}
+	db, err := relstore.OpenFile(cfg.DBPath, opts)
+	if err != nil {
+		return nil, err
+	}
+	st, err := crawler.ReadCheckpoint(db)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Extra) > 0 {
+		if err := web.ImportFetchState(st.Extra); err != nil {
+			return nil, err
+		}
+	}
+	model, err := trainModel(web, tree, cfg, relstore.Open(opts))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Crawl.CheckpointExtra == nil {
+		cfg.Crawl.CheckpointExtra = web.ExportFetchState
+	}
+	cr, err := crawler.Resume(db, model, webFetcher{web}, cfg.Crawl)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Web: web, Tree: tree, DB: db, Model: model, Crawler: cr}, nil
+}
+
+// Close makes a durable system's stored state resumable — a final crawler
+// checkpoint, so the CKPT row agrees with the relations — and closes the DB.
+// In-memory systems just close. Skipping Close after a crash is the point:
+// the file then recovers to the last checkpoint instead.
+func (s *System) Close() error {
+	if s.DB.Durable() {
+		if err := s.Crawler.Checkpoint(); err != nil {
+			s.DB.Close()
+			return err
+		}
+	}
+	return s.DB.Close()
 }
 
 // SeedTopic seeds the crawl with n popular pages of the named topic (the

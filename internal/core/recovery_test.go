@@ -1,0 +1,315 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"focus/internal/crawler"
+	"focus/internal/linkgraph"
+	"focus/internal/relstore"
+	"focus/internal/webgraph"
+)
+
+// goldenConfig is the golden-harvest recipe (see golden_test.go) with the
+// durability knobs parameterized.
+func goldenConfig(dbPath string, maxFetches, checkpointEvery int64) Config {
+	return Config{
+		Web:        webgraph.Config{Seed: 1, NumPages: 6000},
+		GoodTopics: []string{"cycling"},
+		DBPath:     dbPath,
+		Crawl: crawler.Config{
+			Workers:         1,
+			MaxFetches:      maxFetches,
+			DistillEvery:    150,
+			DistillBarrier:  true,
+			CheckpointEvery: checkpointEvery,
+		},
+	}
+}
+
+// scoreMap reads a published score table into oid -> score.
+func scoreMap(t *testing.T, tb *relstore.Table) map[int64]float64 {
+	t.Helper()
+	m := make(map[int64]float64)
+	err := tb.Scan(func(_ relstore.RID, tp relstore.Tuple) (bool, error) {
+		m[tp[0].Int()] = tp[1].Float()
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func scoreMaps(t *testing.T, c *crawler.Crawler) (hubs, auth map[int64]float64) {
+	t.Helper()
+	tabs, err := c.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scoreMap(t, tabs.Hubs), scoreMap(t, tabs.Auth)
+}
+
+// TestGoldenResumeSeed1 pins bit-identical resume: the golden crawl is run
+// durably with periodic checkpoints, killed partway through (the DB is
+// abandoned without Close, exactly like a crash — the file recovers to the
+// last checkpoint, losing the visits after it), resumed with the full
+// budget, and must finish with the same harvest sequence and the same
+// hub/authority scores as the uninterrupted in-memory control run.
+func TestGoldenResumeSeed1(t *testing.T) {
+	control, err := NewSystem(goldenConfig("", 400, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := control.SeedTopic("cycling", 10); err != nil {
+		t.Fatal(err)
+	}
+	ctrlRes, err := control.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlLog := control.Crawler.HarvestLog()
+	ctrlHubs, ctrlAuth := scoreMaps(t, control.Crawler)
+
+	// Durable leg: checkpoint every 100 visits, kill at 250 fetches. The
+	// last checkpoint lands at visit 200; the tail past it must be lost to
+	// the crash and re-crawled identically.
+	dbPath := filepath.Join(t.TempDir(), "crawl.db")
+	sys, err := NewSystem(goldenConfig(dbPath, 250, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SeedTopic("cycling", 10); err != nil {
+		t.Fatal(err)
+	}
+	res1, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Checkpoints < 2 {
+		t.Fatalf("pre-kill run took %d checkpoints, want >= 2", res1.Checkpoints)
+	}
+	// Crash: no Close, no final checkpoint — the in-memory DB state and
+	// buffer pool are simply abandoned.
+
+	resumed, err := ResumeSystem(goldenConfig(dbPath, 400, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preVisited := int64(len(resumed.Crawler.HarvestLog()))
+	if preVisited >= res1.Visited {
+		t.Fatalf("recovered harvest has %d visits, expected fewer than the killed run's %d (tail must be lost)",
+			preVisited, res1.Visited)
+	}
+	res2, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Visited != ctrlRes.Visited || res2.Fetches != ctrlRes.Fetches {
+		t.Errorf("resumed visited=%d fetches=%d, control %d/%d",
+			res2.Visited, res2.Fetches, ctrlRes.Visited, ctrlRes.Fetches)
+	}
+	log := resumed.Crawler.HarvestLog()
+	if len(log) != len(ctrlLog) {
+		t.Fatalf("resumed harvest has %d points, control %d", len(log), len(ctrlLog))
+	}
+	for i := range ctrlLog {
+		if log[i] != ctrlLog[i] {
+			t.Fatalf("harvest point %d diverged after resume: %+v, control %+v", i, log[i], ctrlLog[i])
+		}
+	}
+	hubs, auth := scoreMaps(t, resumed.Crawler)
+	if len(hubs) != len(ctrlHubs) || len(auth) != len(ctrlAuth) {
+		t.Fatalf("score table sizes diverged: hubs %d/%d auth %d/%d",
+			len(hubs), len(ctrlHubs), len(auth), len(ctrlAuth))
+	}
+	for oid, want := range ctrlHubs {
+		if got, ok := hubs[oid]; !ok || got != want {
+			t.Fatalf("hub score of %d = %v (present=%v), control %v", oid, got, ok, want)
+		}
+	}
+	for oid, want := range ctrlAuth {
+		if got, ok := auth[oid]; !ok || got != want {
+			t.Fatalf("auth score of %d = %v (present=%v), control %v", oid, got, ok, want)
+		}
+	}
+	if err := resumed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A closed system is resumable too: Close checkpointed, so reopening
+	// must land exactly at the final state.
+	again, err := ResumeSystem(goldenConfig(dbPath, 400, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(len(again.Crawler.HarvestLog())); got != ctrlRes.Visited {
+		t.Fatalf("post-Close reopen has %d visits, want %d", got, ctrlRes.Visited)
+	}
+}
+
+// TestRecoveryCrashStress injects a disk fault mid-crawl — the write fails
+// partway through a checkpoint, the crawl aborts, and the database is
+// reopened from the same memory-backed disk image, exactly what a kill -9
+// between two sector writes leaves behind. The recovered crawl must have no
+// lost or duplicated visits, consistent bysrc/bydst LINK mirrors, and must
+// run to completion. Runs with several arm points so the fault lands in
+// different checkpoint phases; run under -race in CI.
+func TestRecoveryCrashStress(t *testing.T) {
+	webCfg := webgraph.Config{Seed: 3, NumPages: 3000, TimeoutRate: 0.1}
+	for _, armAt := range []int64{20, 200, 1200} {
+		armAt := armAt
+		t.Run(fmt.Sprintf("arm=%d", armAt), func(t *testing.T) {
+			mem := relstore.NewMemDisk()
+			fd := relstore.NewFaultDisk(mem, -1)
+			opts := relstore.Options{Frames: 2048}
+			db, err := relstore.OpenDurable(fd, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			web, err := webgraph.Generate(webCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{GoodTopics: []string{"cycling"}}
+			tree, err := markGoodTopics(web, &cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model, err := trainModel(web, tree, cfg, relstore.Open(opts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ccfg := crawler.Config{
+				Workers:         4,
+				MaxFetches:      500,
+				DistillEvery:    100,
+				CheckpointEvery: 40,
+				CheckpointExtra: web.ExportFetchState,
+			}
+			cr, err := crawler.New(db, model, NewFetcher(web), ccfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			node := tree.ByName("cycling")
+			if err := cr.Seed(web.Seeds(node.ID, 10)); err != nil {
+				t.Fatal(err)
+			}
+			fd.Arm(armAt)
+			_, runErr := cr.Run()
+			tripped := fd.Tripped()
+			if tripped {
+				if runErr == nil || !errors.Is(runErr, relstore.ErrInjectedFault) {
+					t.Fatalf("fault tripped but Run returned %v", runErr)
+				}
+			} else if runErr != nil {
+				t.Fatal(runErr)
+			}
+
+			// "Reboot": reopen the raw disk image with a fresh pool; the
+			// abandoned DB's dirty frames are gone, like RAM after a crash.
+			fd.Disarm()
+			db2, err := relstore.OpenDurable(mem, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := crawler.ReadCheckpoint(db2)
+			if err != nil {
+				// Legitimate only when the fault killed the very first
+				// crawler checkpoint: recovery then lands on the empty
+				// initial generation, which holds no crawl at all.
+				if tripped && strings.Contains(err.Error(), "CKPT table") {
+					return
+				}
+				t.Fatal(err)
+			}
+
+			// Rebuild the world deterministically and resume.
+			web2, err := webgraph.Generate(webCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg2 := Config{GoodTopics: []string{"cycling"}}
+			tree2, err := markGoodTopics(web2, &cfg2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(st.Extra) > 0 {
+				if err := web2.ImportFetchState(st.Extra); err != nil {
+					t.Fatal(err)
+				}
+			}
+			model2, err := trainModel(web2, tree2, cfg2, relstore.Open(opts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ccfg.CheckpointExtra = web2.ExportFetchState
+			cr2, err := crawler.Resume(db2, model2, NewFetcher(web2), ccfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// No lost or duplicated visits: Resume already cross-checked the
+			// visited row count against the persisted counter; on top of
+			// that, every harvest oid must be unique and the visit sequence
+			// dense in [1, Visit-at-checkpoint].
+			log := cr2.HarvestLog()
+			if int64(len(log)) != st.Visited {
+				t.Fatalf("recovered harvest %d points, checkpoint counter %d", len(log), st.Visited)
+			}
+			seen := make(map[int64]bool, len(log))
+			for i, h := range log {
+				if seen[h.OID] {
+					t.Fatalf("oid %d visited twice in recovered harvest", h.OID)
+				}
+				seen[h.OID] = true
+				if i > 0 && log[i-1].Seq >= h.Seq {
+					t.Fatalf("harvest seq not increasing at %d: %d then %d", i, log[i-1].Seq, h.Seq)
+				}
+			}
+
+			// bysrc/bydst mirror consistency: every stored edge must be
+			// reachable through both indexes.
+			for i := 0; i < st.LinkStripes; i++ {
+				tb := db2.Table(fmt.Sprintf("LINK#%d", i))
+				if tb == nil {
+					t.Fatalf("missing LINK#%d", i)
+				}
+				bysrc, bydst := tb.Index("bysrc"), tb.Index("bydst")
+				var rows int64
+				err := tb.Scan(func(rid relstore.RID, tp relstore.Tuple) (bool, error) {
+					rows++
+					src, dst := tp[linkgraph.ColSrc], tp[linkgraph.ColDst]
+					if r, ok, err := bysrc.Lookup(relstore.EncodeKey(src, dst)); err != nil || !ok || r != rid {
+						return true, fmt.Errorf("bysrc mirror broken for edge %d->%d (ok=%v err=%v)", src.Int(), dst.Int(), ok, err)
+					}
+					if r, ok, err := bydst.Lookup(relstore.EncodeKey(dst, src)); err != nil || !ok || r != rid {
+						return true, fmt.Errorf("bydst mirror broken for edge %d->%d (ok=%v err=%v)", src.Int(), dst.Int(), ok, err)
+					}
+					return false, nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rows != tb.Rows() {
+					t.Fatalf("LINK#%d scan saw %d rows, heap says %d", i, rows, tb.Rows())
+				}
+			}
+
+			// The recovered crawl keeps going and finishes cleanly.
+			res, err := cr2.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Visited < st.Visited {
+				t.Fatalf("resumed run went backwards: visited %d < checkpoint %d", res.Visited, st.Visited)
+			}
+			if err := db2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -141,6 +141,20 @@ type Config struct {
 	// pre-registry behavior). Measurement-only: eval.RunSweepScaling uses it
 	// for the routed-vs-unrouted A/B; results are identical either way.
 	UnroutedSweep bool
+	// CheckpointEvery persists a durable checkpoint after every k page
+	// visits (0 disables), piggybacked on the distillation snapshot point:
+	// the same quiesce (pendingFwd drained, consistent cross-shard and
+	// cross-stripe views) plus the DOCUMENT stripe locks, followed by
+	// relstore's atomic checkpoint. Requires a DB opened durable
+	// (relstore.CreateFile/OpenDurable); New errors otherwise. See
+	// checkpoint.go and Crawler.Resume.
+	CheckpointEvery int64
+	// CheckpointExtra, when set, is called inside each checkpoint's quiesce
+	// and its blob is persisted alongside the crawler state, surfacing again
+	// as CheckpointState.Extra after reopen — the synthetic web's RNG and
+	// fault-window state rides here so a resumed crawl replays the same
+	// network.
+	CheckpointExtra func() ([]byte, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -202,7 +216,10 @@ type Result struct {
 	Dead      int64
 	Stagnated bool // frontier drained before the budget was spent
 	Distills  int
-	Elapsed   time.Duration
+	// Checkpoints counts durable checkpoints taken during the run
+	// (Config.CheckpointEvery).
+	Checkpoints int64
+	Elapsed     time.Duration
 	// DistillStall is the total time crawl workers spent stopped for
 	// distillation — the time the world-stopped phase was held. In
 	// barrier mode the whole HITS run happens inside it; in concurrent
@@ -291,6 +308,7 @@ type Crawler struct {
 	harvest   []HarvestPoint
 	visitSeq  int64
 	sinceDist int64
+	sinceCkpt int64 // visits since the last durable checkpoint
 	distills  int
 	// pendingFwd holds oid -> relevance for pages marked visited whose
 	// incoming-weight sweep (UpdateIncomingFwd) has not completed yet. The
@@ -335,12 +353,13 @@ type Crawler struct {
 	classifyMu  sync.Mutex
 	classifyErr error
 
-	fetches  atomic.Int64
-	visited  atomic.Int64
-	failed   atomic.Int64
-	dead     atomic.Int64
-	inflight atomic.Int64
-	stop     atomic.Bool
+	fetches     atomic.Int64
+	visited     atomic.Int64
+	failed      atomic.Int64
+	dead        atomic.Int64
+	inflight    atomic.Int64
+	checkpoints atomic.Int64
+	stop        atomic.Bool
 
 	// politeOn caches "any politeness/backoff feature is enabled": the
 	// checkout and failure paths branch on it, and with it false every
@@ -382,6 +401,16 @@ func New(db *relstore.DB, model *classifier.Model, fetcher Fetcher, cfg Config) 
 		c.cfg.BreakerAfter > 0 || c.cfg.RetryBackoff > 0
 	if c.cfg.Mode == ModeUnfocused {
 		c.policy = FIFO()
+	}
+	if c.cfg.CheckpointEvery > 0 && !db.Durable() {
+		return nil, errors.New("crawler: Config.CheckpointEvery requires a durable DB (relstore.CreateFile or OpenDurable)")
+	}
+	if db.Durable() {
+		// The CKPT state table exists from creation so Checkpoint never has
+		// to mutate the catalog mid-crawl.
+		if _, err := db.CreateTable(ckptTable, ckptSchema()); err != nil {
+			return nil, err
+		}
 	}
 	for i := 0; i < c.cfg.FrontierShards; i++ {
 		sh, err := newShard(db, i, c.policy)
@@ -671,6 +700,7 @@ func (c *Crawler) Run() (Result, error) {
 		Failed:              c.failed.Load(),
 		Dead:                c.dead.Load(),
 		Distills:            distills,
+		Checkpoints:         c.checkpoints.Load(),
 		Elapsed:             time.Since(start),
 		DistillStall:        time.Duration(c.stallNS.Load()),
 		DistillCompute:      time.Duration(c.computeNS.Load()),
@@ -981,7 +1011,26 @@ func (c *Crawler) complete(sh *shard, rid relstore.RID, row relstore.Tuple, vec 
 		}
 		c.mu.Unlock()
 		if due {
-			return c.distill()
+			if err := c.distill(); err != nil {
+				return err
+			}
+		}
+	}
+
+	// The durable checkpoint trigger comes after the distillation trigger so
+	// a visit that fires both distills first and the checkpoint captures that
+	// epoch's published scores (Checkpoint waits out the concurrent pipeline
+	// either way).
+	if c.cfg.CheckpointEvery > 0 {
+		c.mu.Lock()
+		c.sinceCkpt++
+		due := c.sinceCkpt >= c.cfg.CheckpointEvery
+		if due {
+			c.sinceCkpt = 0
+		}
+		c.mu.Unlock()
+		if due {
+			return c.Checkpoint()
 		}
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"focus/internal/core"
@@ -75,6 +76,11 @@ type HostileConfig struct {
 	Workers int
 	// Levels are the hostility levels to measure (default 0..3).
 	Levels []int
+	// DBPath, when set, backs each run's crawl relations with a real
+	// durable file ("<DBPath>.l<level>.<mode>", removed after measurement)
+	// via core.Config.DBPath, with a 200-visit checkpoint cadence — the
+	// hostile study measured against genuine disk I/O.
+	DBPath string
 }
 
 func (c HostileConfig) withDefaults() HostileConfig {
@@ -118,6 +124,11 @@ type HostileRunStats struct {
 	BreakerTrips int64                       `json:"breaker_trips"`
 	Dead         int64                       `json:"dead"`
 	DeadByCause  map[crawler.DeadCause]int64 `json:"dead_by_cause,omitempty"`
+	// DiskReads/DiskWrites are the crawl DB's physical page I/O — pool
+	// traffic in memory-backed runs, real file I/O (checkpoint flushes
+	// included) when HostileConfig.DBPath is set.
+	DiskReads  int64 `json:"disk_reads"`
+	DiskWrites int64 `json:"disk_writes"`
 }
 
 // HostilePoint pairs the naive and polite measurements at one level.
@@ -168,20 +179,33 @@ func RunHostile(cfg HostileConfig) (*HostileResult, error) {
 			if polite {
 				ccfg = PoliteCrawl(ccfg)
 			}
-			sys, err := core.NewSystemOnWeb(web, core.Config{
+			syscfg := core.Config{
 				GoodTopics: []string{cfg.Topic},
 				Crawl:      ccfg,
-			})
+			}
+			if cfg.DBPath != "" {
+				mode := "naive"
+				if polite {
+					mode = "polite"
+				}
+				syscfg.DBPath = fmt.Sprintf("%s.l%d.%s", cfg.DBPath, level, mode)
+				syscfg.Crawl.CheckpointEvery = 200
+				defer os.Remove(syscfg.DBPath)
+			}
+			sys, err := core.NewSystemOnWeb(web, syscfg)
 			if err != nil {
 				return HostileRunStats{}, err
 			}
+			defer sys.Close()
 			if err := sys.SeedTopic(cfg.Topic, cfg.Seeds); err != nil {
 				return HostileRunStats{}, err
 			}
+			sys.DB.Disk().Stats().Reset()
 			res, err := sys.Run()
 			if err != nil {
 				return HostileRunStats{}, err
 			}
+			reads, writes := sys.DB.Disk().Stats().Snapshot()
 			var rel int64
 			for _, h := range sys.Crawler.HarvestLog() {
 				if p := web.PageByURL(h.URL); p != nil && tree.IsGoodOrSubsumed(p.Topic) {
@@ -200,6 +224,8 @@ func RunHostile(cfg HostileConfig) (*HostileResult, error) {
 				BreakerTrips: res.BreakerTrips,
 				Dead:         res.Dead,
 				DeadByCause:  res.DeadByCause,
+				DiskReads:    reads,
+				DiskWrites:   writes,
 			}
 			if res.Fetches > 0 {
 				st.Harvest = float64(rel) / float64(res.Fetches)
@@ -248,15 +274,15 @@ func (r *HostileResult) WriteJSON(w io.Writer) error {
 func (r *HostileResult) Render(w io.Writer) {
 	fmt.Fprintf(w, "Hostile-web robustness (%d workers, %d-fetch budget, naive vs polite)\n",
 		r.Workers, r.Budget)
-	fmt.Fprintf(w, "%5s %7s %8s %8s %8s %8s %6s %5s %6s %7s %10s %6s\n",
+	fmt.Fprintf(w, "%5s %7s %8s %8s %8s %8s %6s %5s %6s %7s %10s %8s %8s %6s\n",
 		"level", "mode", "visited", "fetches", "relevant", "harvest",
-		"429s", "dark", "retry", "breaker", "pages/sec", "gain")
+		"429s", "dark", "retry", "breaker", "pages/sec", "reads", "writes", "gain")
 	for _, p := range r.Points {
 		line := func(mode string, s HostileRunStats, gain string) {
-			fmt.Fprintf(w, "%5d %7s %8d %8d %8d %8.3f %6d %5d %6d %7d %10.1f %6s\n",
+			fmt.Fprintf(w, "%5d %7s %8d %8d %8d %8.3f %6d %5d %6d %7d %10.1f %8d %8d %6s\n",
 				p.Level, mode, s.Visited, s.Fetches, s.Relevant, s.Harvest,
 				s.RateLimited, s.Timeouts, s.Retries, s.BreakerTrips,
-				s.PagesPerSec, gain)
+				s.PagesPerSec, s.DiskReads, s.DiskWrites, gain)
 		}
 		line("naive", p.Naive, "")
 		line("polite", p.Polite, fmt.Sprintf("%.2fx", p.PoliteGain))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -54,6 +55,13 @@ type PoolScalingConfig struct {
 	ProbeKeys int
 	// Probes is the number of random Get probes per worker (default 1000).
 	Probes int
+	// DBPath, when set, backs each crawl leg with a real durable file
+	// ("<DBPath>.f<frames>.p<shards>", removed after measurement) instead
+	// of the latency-simulated memory disk. Durable legs run the no-steal
+	// pool, so the leg's frame count is clamped up to 2048 and the crawl
+	// checkpoints every 200 visits; the probe microbench stays on the
+	// memory disk either way (it has no crawl relations to persist).
+	DBPath string
 }
 
 func (c PoolScalingConfig) withDefaults() PoolScalingConfig {
@@ -107,12 +115,13 @@ type PoolCrawlStats struct {
 	Visited     int64         `json:"visited"`
 	Elapsed     time.Duration `json:"elapsed_ns"`
 	PagesPerSec float64       `json:"pages_per_sec"`
-	// DiskReads counts physical page reads during the crawl; Hits/Misses
-	// are the pool's own counters (misses ≈ reads — single-flight makes
-	// them equal up to write-backs).
-	DiskReads int64 `json:"disk_reads"`
-	Hits      int64 `json:"pool_hits"`
-	Misses    int64 `json:"pool_misses"`
+	// DiskReads/DiskWrites count physical page I/O during the crawl;
+	// Hits/Misses are the pool's own counters (misses ≈ reads —
+	// single-flight makes them equal up to write-backs).
+	DiskReads  int64 `json:"disk_reads"`
+	DiskWrites int64 `json:"disk_writes"`
+	Hits       int64 `json:"pool_hits"`
+	Misses     int64 `json:"pool_misses"`
 }
 
 // PoolProbeStats is the cold-B+tree microbench at one (frames, shards):
@@ -165,44 +174,69 @@ func RunPoolScaling(cfg PoolScalingConfig) (*PoolScalingResult, error) {
 				return PoolCrawlStats{}, err
 			}
 		}
-		disk := relstore.NewMemDisk()
-		db := relstore.Open(relstore.Options{Disk: disk, Frames: frames, PoolShards: shards})
-		examples := classifier.Examples{}
-		for _, leaf := range tree.Leaves() {
-			examples[leaf.ID] = web.ExampleDocs(leaf.ID, 25)
-		}
-		model, err := classifier.Train(db, tree, examples, classifier.TrainConfig{})
-		if err != nil {
-			return PoolCrawlStats{}, err
-		}
-		cr, err := crawler.New(db, model, core.NewFetcher(web), crawler.Config{
+		ccfg := crawler.Config{
 			Workers:       cfg.Workers,
 			LinkStripes:   cfg.LinkStripes,
 			MaxFetches:    cfg.Budget,
 			SkipDocuments: true,
-		})
+		}
+		var db, trainDB *relstore.DB
+		var mem *relstore.MemDisk
+		if cfg.DBPath != "" {
+			path := fmt.Sprintf("%s.f%d.p%d", cfg.DBPath, frames, shards)
+			legFrames := frames
+			if legFrames < 2048 {
+				legFrames = 2048 // no-steal pool: the dirtied set must fit
+			}
+			db, err = relstore.CreateFile(path, relstore.Options{Frames: legFrames, PoolShards: shards})
+			if err != nil {
+				return PoolCrawlStats{}, err
+			}
+			defer os.Remove(path)
+			defer db.Close()
+			trainDB = relstore.Open(relstore.Options{Frames: frames})
+			ccfg.CheckpointEvery = 200
+		} else {
+			mem = relstore.NewMemDisk()
+			db = relstore.Open(relstore.Options{Disk: mem, Frames: frames, PoolShards: shards})
+			trainDB = db
+		}
+		examples := classifier.Examples{}
+		for _, leaf := range tree.Leaves() {
+			examples[leaf.ID] = web.ExampleDocs(leaf.ID, 25)
+		}
+		model, err := classifier.Train(trainDB, tree, examples, classifier.TrainConfig{})
+		if err != nil {
+			return PoolCrawlStats{}, err
+		}
+		cr, err := crawler.New(db, model, core.NewFetcher(web), ccfg)
 		if err != nil {
 			return PoolCrawlStats{}, err
 		}
 		if err := cr.Seed(web.Seeds(node.ID, cfg.Seeds)); err != nil {
 			return PoolCrawlStats{}, err
 		}
-		disk.Stats().Reset()
+		db.Disk().Stats().Reset()
 		db.Pool().ResetStats()
-		disk.SetLatency(cfg.DiskLatency)
+		if mem != nil {
+			mem.SetLatency(cfg.DiskLatency)
+		}
 		res, err := cr.Run()
-		disk.SetLatency(0)
+		if mem != nil {
+			mem.SetLatency(0)
+		}
 		if err != nil {
 			return PoolCrawlStats{}, err
 		}
-		reads, _ := disk.Stats().Snapshot()
+		reads, writes := db.Disk().Stats().Snapshot()
 		pst := db.Pool().Stats()
 		st := PoolCrawlStats{
-			Visited:   res.Visited,
-			Elapsed:   res.Elapsed,
-			DiskReads: reads,
-			Hits:      pst.Hits,
-			Misses:    pst.Misses,
+			Visited:    res.Visited,
+			Elapsed:    res.Elapsed,
+			DiskReads:  reads,
+			DiskWrites: writes,
+			Hits:       pst.Hits,
+			Misses:     pst.Misses,
 		}
 		if res.Elapsed > 0 {
 			st.PagesPerSec = float64(res.Visited) / res.Elapsed.Seconds()
@@ -330,11 +364,11 @@ func (r *PoolScalingResult) WriteJSON(w io.Writer) error {
 // Render prints the grid plus headline gain lines.
 func (r *PoolScalingResult) Render(w io.Writer) {
 	fmt.Fprintf(w, "Buffer-pool sharding (%d workers, disk-resident link-heavy crawl + cold B+tree probes)\n", r.Workers)
-	fmt.Fprintf(w, "%8s %7s %8s %12s %10s %8s %14s %10s %8s\n",
-		"frames", "shards", "visited", "pages/sec", "reads", "gain", "probes/sec", "p-reads", "p-gain")
+	fmt.Fprintf(w, "%8s %7s %8s %12s %10s %10s %8s %14s %10s %8s\n",
+		"frames", "shards", "visited", "pages/sec", "reads", "writes", "gain", "probes/sec", "p-reads", "p-gain")
 	for _, p := range r.Points {
-		fmt.Fprintf(w, "%8d %7d %8d %12.1f %10d %7.2fx %14.0f %10d %7.2fx\n",
+		fmt.Fprintf(w, "%8d %7d %8d %12.1f %10d %10d %7.2fx %14.0f %10d %7.2fx\n",
 			p.Frames, p.Shards, p.Crawl.Visited, p.Crawl.PagesPerSec, p.Crawl.DiskReads,
-			p.CrawlGain, p.Probe.ProbesPerSec, p.Probe.DiskReads, p.ProbeGain)
+			p.Crawl.DiskWrites, p.CrawlGain, p.Probe.ProbesPerSec, p.Probe.DiskReads, p.ProbeGain)
 	}
 }

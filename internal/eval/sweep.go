@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"focus/internal/classifier"
@@ -49,6 +50,14 @@ type SweepScalingConfig struct {
 	// regime-relative; the routed/unrouted ratio and the I/O counts are
 	// the meaningful outputs.
 	DiskLatency time.Duration
+	// DBPath, when set, backs each run's crawl relations with a real
+	// durable file (one per leg, "<DBPath>.s<stripes>.<mode>", removed
+	// after measurement) instead of the latency-simulated memory disk:
+	// page I/O is then genuine file I/O. Durable legs run the no-steal
+	// pool, so Frames is clamped up to 2048 and the crawl checkpoints
+	// every 200 visits to keep the dirtied working set bounded; the
+	// checkpoint writes are part of what the reads/writes columns report.
+	DBPath string
 }
 
 func (c SweepScalingConfig) withDefaults() SweepScalingConfig {
@@ -105,8 +114,11 @@ type SweepRunStats struct {
 	StripeProbes   int64   `json:"stripe_probes"`
 	ProbesPerSweep float64 `json:"probes_per_sweep"`
 	// DiskReads counts page reads during the crawl — the I/O the unrouted
-	// sweep's pointless descents add.
-	DiskReads int64 `json:"disk_reads"`
+	// sweep's pointless descents add. DiskWrites counts page writes; on
+	// the memory disk those are pool write-backs, on a DBPath file they
+	// are checkpoint flushes plus write-backs.
+	DiskReads  int64 `json:"disk_reads"`
+	DiskWrites int64 `json:"disk_writes"`
 }
 
 // SweepScalingPoint pairs the routed and unrouted measurements at one
@@ -151,44 +163,73 @@ func RunSweepScaling(cfg SweepScalingConfig) (*SweepScalingResult, error) {
 				return SweepRunStats{}, err
 			}
 		}
-		disk := relstore.NewMemDisk()
-		db := relstore.Open(relstore.Options{Disk: disk, Frames: cfg.Frames})
-		examples := classifier.Examples{}
-		for _, leaf := range tree.Leaves() {
-			examples[leaf.ID] = web.ExampleDocs(leaf.ID, 25)
-		}
-		model, err := classifier.Train(db, tree, examples, classifier.TrainConfig{})
-		if err != nil {
-			return SweepRunStats{}, err
-		}
-		cr, err := crawler.New(db, model, core.NewFetcher(web), crawler.Config{
+		ccfg := crawler.Config{
 			Workers:       cfg.Workers,
 			LinkStripes:   stripes,
 			MaxFetches:    cfg.Budget,
 			SkipDocuments: true,
 			UnroutedSweep: unrouted,
-		})
+		}
+		var db, trainDB *relstore.DB
+		var mem *relstore.MemDisk
+		if cfg.DBPath != "" {
+			mode := "routed"
+			if unrouted {
+				mode = "unrouted"
+			}
+			path := fmt.Sprintf("%s.s%d.%s", cfg.DBPath, stripes, mode)
+			frames := cfg.Frames
+			if frames < 2048 {
+				frames = 2048 // no-steal pool: the dirtied set must fit
+			}
+			db, err = relstore.CreateFile(path, relstore.Options{Frames: frames})
+			if err != nil {
+				return SweepRunStats{}, err
+			}
+			defer os.Remove(path)
+			defer db.Close()
+			trainDB = relstore.Open(relstore.Options{Frames: cfg.Frames})
+			ccfg.CheckpointEvery = 200
+		} else {
+			mem = relstore.NewMemDisk()
+			db = relstore.Open(relstore.Options{Disk: mem, Frames: cfg.Frames})
+			trainDB = db
+		}
+		examples := classifier.Examples{}
+		for _, leaf := range tree.Leaves() {
+			examples[leaf.ID] = web.ExampleDocs(leaf.ID, 25)
+		}
+		model, err := classifier.Train(trainDB, tree, examples, classifier.TrainConfig{})
+		if err != nil {
+			return SweepRunStats{}, err
+		}
+		cr, err := crawler.New(db, model, core.NewFetcher(web), ccfg)
 		if err != nil {
 			return SweepRunStats{}, err
 		}
 		if err := cr.Seed(web.Seeds(node.ID, cfg.Seeds)); err != nil {
 			return SweepRunStats{}, err
 		}
-		disk.Stats().Reset()
-		disk.SetLatency(cfg.DiskLatency)
+		db.Disk().Stats().Reset()
+		if mem != nil {
+			mem.SetLatency(cfg.DiskLatency)
+		}
 		res, err := cr.Run()
-		disk.SetLatency(0)
+		if mem != nil {
+			mem.SetLatency(0)
+		}
 		if err != nil {
 			return SweepRunStats{}, err
 		}
 		sweeps, probes := cr.Links().SweepStats()
-		reads, _ := disk.Stats().Snapshot()
+		reads, writes := db.Disk().Stats().Snapshot()
 		st := SweepRunStats{
 			Visited:      res.Visited,
 			Elapsed:      res.Elapsed,
 			Sweeps:       sweeps,
 			StripeProbes: probes,
 			DiskReads:    reads,
+			DiskWrites:   writes,
 		}
 		if res.Elapsed > 0 {
 			st.PagesPerSec = float64(res.Visited) / res.Elapsed.Seconds()
@@ -238,15 +279,15 @@ func (r *SweepScalingResult) WriteJSON(w io.Writer) error {
 func (r *SweepScalingResult) Render(w io.Writer) {
 	fmt.Fprintf(w, "Incoming-weight sweep scaling (%d workers, link-heavy web, %d-frame pool)\n",
 		r.Workers, r.Frames)
-	fmt.Fprintf(w, "%8s %7s %8s %10s %12s %12s %10s %8s\n",
-		"stripes", "mode", "visited", "elapsed", "pages/sec", "probes/sweep", "reads", "gain")
+	fmt.Fprintf(w, "%8s %7s %8s %10s %12s %12s %10s %10s %8s\n",
+		"stripes", "mode", "visited", "elapsed", "pages/sec", "probes/sweep", "reads", "writes", "gain")
 	for _, p := range r.Points {
-		fmt.Fprintf(w, "%8d %7s %8d %10s %12.1f %12.2f %10d %8s\n",
+		fmt.Fprintf(w, "%8d %7s %8d %10s %12.1f %12.2f %10d %10d %8s\n",
 			p.Stripes, "routed", p.Routed.Visited, rnd(p.Routed.Elapsed),
-			p.Routed.PagesPerSec, p.Routed.ProbesPerSweep, p.Routed.DiskReads, "")
-		fmt.Fprintf(w, "%8s %7s %8d %10s %12.1f %12.2f %10d %7.2fx\n",
+			p.Routed.PagesPerSec, p.Routed.ProbesPerSweep, p.Routed.DiskReads, p.Routed.DiskWrites, "")
+		fmt.Fprintf(w, "%8s %7s %8d %10s %12.1f %12.2f %10d %10d %7.2fx\n",
 			"", "legacy", p.Unrouted.Visited, rnd(p.Unrouted.Elapsed),
-			p.Unrouted.PagesPerSec, p.Unrouted.ProbesPerSweep, p.Unrouted.DiskReads, p.RoutedGain)
+			p.Unrouted.PagesPerSec, p.Unrouted.ProbesPerSweep, p.Unrouted.DiskReads, p.Unrouted.DiskWrites, p.RoutedGain)
 	}
 	if p8, ok8 := r.PointAt(8); ok8 {
 		if p32, ok32 := r.PointAt(32); ok32 && p8.Routed.PagesPerSec > 0 {

@@ -3,6 +3,7 @@ package relstore
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -105,6 +106,10 @@ type poolShard struct {
 	hand     int
 	tick     int64
 	policy   ReplacementPolicy
+	// noSteal forbids evicting dirty frames (durable mode): dirty pages
+	// reach disk only via FlushAll, keeping the on-disk image pinned to the
+	// last checkpoint between checkpoints.
+	noSteal bool
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -192,6 +197,22 @@ func (bp *BufferPool) SetPolicy(p ReplacementPolicy) {
 	for _, sh := range bp.shards {
 		sh.mu.Lock()
 		sh.policy = p
+		sh.mu.Unlock()
+	}
+}
+
+// SetNoSteal switches the pool to a no-steal eviction discipline: dirty
+// frames are never eviction victims, so the only path a dirty page takes to
+// disk is FlushAll. Durable DBs run no-steal so that between checkpoints
+// the on-disk image stays exactly the last checkpoint's — a crash then
+// loses in-pool work but can never leave half-new pages under an old
+// manifest. The cost is a capacity contract: the working set dirtied
+// between checkpoints must fit in the pool, or writes fail with
+// ErrPoolExhausted (checkpoint more often or raise Options.Frames).
+func (bp *BufferPool) SetNoSteal(on bool) {
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		sh.noSteal = on
 		sh.mu.Unlock()
 	}
 }
@@ -576,7 +597,7 @@ func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
 
 // pickVictimLocked finds an unpinned frame by the shard's policy, without
 // flushing or invalidating it. Caller holds sh.mu. Returns nil if every
-// frame is pinned.
+// frame is pinned (or, under no-steal, dirty).
 func (sh *poolShard) pickVictimLocked() *Frame {
 	switch sh.policy {
 	case PolicyLRU:
@@ -587,6 +608,9 @@ func (sh *poolShard) pickVictimLocked() *Frame {
 			}
 			if !c.valid {
 				return c
+			}
+			if sh.noSteal && c.dirty.Load() {
+				continue
 			}
 			if best == nil || c.used < best.used {
 				best = c
@@ -603,6 +627,9 @@ func (sh *poolShard) pickVictimLocked() *Frame {
 			}
 			if !c.valid {
 				return c
+			}
+			if sh.noSteal && c.dirty.Load() {
+				continue
 			}
 			if c.ref.Load() {
 				c.ref.Store(false)
@@ -635,6 +662,25 @@ func (sh *poolShard) victimFlushLocked(disk DiskManager) (*Frame, error) {
 		f.valid = false
 	}
 	return f, nil
+}
+
+// DirtyPages returns the ids of every dirty resident page, sorted. Under
+// the no-steal discipline this is exactly the set of pages whose on-disk
+// image is stale — the checkpoint journals the subset of them that the
+// previous checkpoint still references before FlushAll overwrites them.
+func (bp *BufferPool) DirtyPages() []PageID {
+	var out []PageID
+	for _, sh := range bp.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.loading == nil && f.valid && f.dirty.Load() {
+				out = append(out, f.pid)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // FlushAll writes every dirty resident page back to disk. Frames mid-load

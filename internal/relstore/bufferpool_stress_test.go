@@ -24,67 +24,72 @@ var stressShardCounts = []int{1, 4, 16}
 // a recognizable pattern, unpin dirty, then re-fetch and verify — under
 // heavy eviction traffic from a pool much smaller than the page population.
 func TestBufferPoolConcurrentStress(t *testing.T) {
-	for _, shards := range stressShardCounts {
-		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			const (
-				goroutines = 8
-				pagesEach  = 40
-				rounds     = 3
-			)
-			disk := NewMemDisk()
-			bp := NewBufferPoolSharded(disk, 16, shards) // far fewer frames than live pages
+	for _, kind := range diskKinds {
+		for _, shards := range stressShardCounts {
+			t.Run(fmt.Sprintf("disk=%s/shards=%d", kind, shards), func(t *testing.T) {
+				testBufferPoolConcurrentStress(t, newTestDisk(t, kind), shards)
+			})
+		}
+	}
+}
 
-			stamp := func(buf []byte, g, i, r int) {
-				binary.LittleEndian.PutUint64(buf[0:], uint64(g)<<40|uint64(i)<<16|uint64(r))
-			}
+func testBufferPoolConcurrentStress(t *testing.T, disk DiskManager, shards int) {
+	const (
+		goroutines = 8
+		pagesEach  = 40
+		rounds     = 3
+	)
+	bp := NewBufferPoolSharded(disk, 16, shards) // far fewer frames than live pages
 
-			var wg sync.WaitGroup
-			errCh := make(chan error, goroutines)
-			for g := 0; g < goroutines; g++ {
-				wg.Add(1)
-				go func(g int) {
-					defer wg.Done()
-					pids := make([]PageID, 0, pagesEach)
-					for i := 0; i < pagesEach; i++ {
-						f, err := bp.NewPage()
-						if err != nil {
-							errCh <- err
-							return
-						}
-						stamp(f.Data(), g, i, 0)
-						pid := f.PID()
-						bp.Unpin(f, true)
-						pids = append(pids, pid)
+	stamp := func(buf []byte, g, i, r int) {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(g)<<40|uint64(i)<<16|uint64(r))
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pids := make([]PageID, 0, pagesEach)
+			for i := 0; i < pagesEach; i++ {
+				f, err := bp.NewPage()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				stamp(f.Data(), g, i, 0)
+				pid := f.PID()
+				bp.Unpin(f, true)
+				pids = append(pids, pid)
+			}
+			for r := 1; r <= rounds; r++ {
+				for i, pid := range pids {
+					f, err := bp.Fetch(pid)
+					if err != nil {
+						errCh <- err
+						return
 					}
-					for r := 1; r <= rounds; r++ {
-						for i, pid := range pids {
-							f, err := bp.Fetch(pid)
-							if err != nil {
-								errCh <- err
-								return
-							}
-							var want [8]byte
-							stamp(want[:], g, i, r-1)
-							if got := binary.LittleEndian.Uint64(f.Data()); got != binary.LittleEndian.Uint64(want[:]) {
-								bp.Unpin(f, false)
-								errCh <- errors.New("page content corrupted across eviction")
-								return
-							}
-							stamp(f.Data(), g, i, r)
-							bp.Unpin(f, true)
-						}
+					var want [8]byte
+					stamp(want[:], g, i, r-1)
+					if got := binary.LittleEndian.Uint64(f.Data()); got != binary.LittleEndian.Uint64(want[:]) {
+						bp.Unpin(f, false)
+						errCh <- errors.New("page content corrupted across eviction")
+						return
 					}
-				}(g)
+					stamp(f.Data(), g, i, r)
+					bp.Unpin(f, true)
+				}
 			}
-			wg.Wait()
-			close(errCh)
-			if err := <-errCh; err != nil {
-				t.Fatal(err)
-			}
-			if st := bp.Stats(); st.Evictions == 0 {
-				t.Fatal("stress ran without evictions; pool too large to test replacement")
-			}
-		})
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if st := bp.Stats(); st.Evictions == 0 {
+		t.Fatal("stress ran without evictions; pool too large to test replacement")
 	}
 }
 
@@ -93,66 +98,71 @@ func TestBufferPoolConcurrentStress(t *testing.T) {
 // of the contract) while background goroutines churn other pages through
 // the pool.
 func TestBufferPoolSharedReaders(t *testing.T) {
-	for _, shards := range stressShardCounts {
-		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			disk := NewMemDisk()
-			bp := NewBufferPoolSharded(disk, 8, shards)
+	for _, kind := range diskKinds {
+		for _, shards := range stressShardCounts {
+			t.Run(fmt.Sprintf("disk=%s/shards=%d", kind, shards), func(t *testing.T) {
+				testBufferPoolSharedReaders(t, newTestDisk(t, kind), shards)
+			})
+		}
+	}
+}
 
-			hot, err := bp.NewPage()
-			if err != nil {
-				t.Fatal(err)
-			}
-			for i := range hot.Data() {
-				hot.Data()[i] = byte(i)
-			}
-			hotPID := hot.PID()
-			bp.Unpin(hot, true)
+func testBufferPoolSharedReaders(t *testing.T, disk DiskManager, shards int) {
+	bp := NewBufferPoolSharded(disk, 8, shards)
 
-			var wg sync.WaitGroup
-			errCh := make(chan error, 12)
-			for g := 0; g < 8; g++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for i := 0; i < 200; i++ {
-						f, err := bp.Fetch(hotPID)
-						if err != nil {
-							errCh <- err
-							return
-						}
-						if f.Data()[1] != 1 || f.Data()[255] != 255 {
-							bp.Unpin(f, false)
-							errCh <- errors.New("hot page content wrong")
-							return
-						}
-						bp.Unpin(f, false)
-					}
-				}()
+	hot, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hot.Data() {
+		hot.Data()[i] = byte(i)
+	}
+	hotPID := hot.PID()
+	bp.Unpin(hot, true)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 12)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f, err := bp.Fetch(hotPID)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if f.Data()[1] != 1 || f.Data()[255] != 255 {
+					bp.Unpin(f, false)
+					errCh <- errors.New("hot page content wrong")
+					return
+				}
+				bp.Unpin(f, false)
 			}
-			for g := 0; g < 4; g++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for i := 0; i < 60; i++ {
-						f, err := bp.NewPage()
-						if err != nil {
-							errCh <- err
-							return
-						}
-						f.Data()[0] = byte(i)
-						bp.Unpin(f, true)
-					}
-				}()
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				f, err := bp.NewPage()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				f.Data()[0] = byte(i)
+				bp.Unpin(f, true)
 			}
-			wg.Wait()
-			close(errCh)
-			if err := <-errCh; err != nil {
-				t.Fatal(err)
-			}
-			if st := bp.Stats(); st.Evictions == 0 {
-				t.Fatal("reader/churn mix ran without evictions; pool too large")
-			}
-		})
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if st := bp.Stats(); st.Evictions == 0 {
+		t.Fatal("reader/churn mix ran without evictions; pool too large")
 	}
 }
 
@@ -160,55 +170,60 @@ func TestBufferPoolSharedReaders(t *testing.T) {
 // crawler shards do) from two goroutines over one shared pool — the exact
 // access pattern the sharded frontier relies on.
 func TestBufferPoolConcurrentTables(t *testing.T) {
-	for _, shards := range stressShardCounts {
-		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			disk := NewMemDisk()
-			// Far fewer frames than the trees' ~20 pages, so frames are stolen
-			// back and forth between the two trees mid-run (but comfortably more
-			// than the pages both writers can pin at once).
-			bp := NewBufferPoolSharded(disk, 12, shards)
+	for _, kind := range diskKinds {
+		for _, shards := range stressShardCounts {
+			t.Run(fmt.Sprintf("disk=%s/shards=%d", kind, shards), func(t *testing.T) {
+				testBufferPoolConcurrentTables(t, newTestDisk(t, kind), shards)
+			})
+		}
+	}
+}
 
-			var wg sync.WaitGroup
-			errCh := make(chan error, 2)
-			for g := 0; g < 2; g++ {
-				tree, err := NewBTree(bp)
-				if err != nil {
-					t.Fatal(err)
+func testBufferPoolConcurrentTables(t *testing.T, disk DiskManager, shards int) {
+	// Far fewer frames than the trees' ~20 pages, so frames are stolen
+	// back and forth between the two trees mid-run (but comfortably more
+	// than the pages both writers can pin at once).
+	bp := NewBufferPoolSharded(disk, 12, shards)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2)
+	for g := 0; g < 2; g++ {
+		tree, err := NewBTree(bp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(g int, tree *BTree) {
+			defer wg.Done()
+			for i := 0; i < 800; i++ {
+				k := EncodeKey(I64(int64(g)), I64(int64(i)))
+				if err := tree.Insert(k, EncodeRID(RID{Page: PageID(i + 1), Slot: uint16(g)})); err != nil {
+					errCh <- err
+					return
 				}
-				wg.Add(1)
-				go func(g int, tree *BTree) {
-					defer wg.Done()
-					for i := 0; i < 800; i++ {
-						k := EncodeKey(I64(int64(g)), I64(int64(i)))
-						if err := tree.Insert(k, EncodeRID(RID{Page: PageID(i + 1), Slot: uint16(g)})); err != nil {
-							errCh <- err
-							return
-						}
-					}
-					for i := 0; i < 800; i++ {
-						k := EncodeKey(I64(int64(g)), I64(int64(i)))
-						v, ok, err := tree.Get(k)
-						if err != nil || !ok {
-							errCh <- errors.New("lost key after concurrent inserts")
-							return
-						}
-						rid, err := DecodeRID(v)
-						if err != nil || rid.Page != PageID(i+1) {
-							errCh <- errors.New("wrong value after concurrent inserts")
-							return
-						}
-					}
-				}(g, tree)
 			}
-			wg.Wait()
-			close(errCh)
-			if err := <-errCh; err != nil {
-				t.Fatal(err)
+			for i := 0; i < 800; i++ {
+				k := EncodeKey(I64(int64(g)), I64(int64(i)))
+				v, ok, err := tree.Get(k)
+				if err != nil || !ok {
+					errCh <- errors.New("lost key after concurrent inserts")
+					return
+				}
+				rid, err := DecodeRID(v)
+				if err != nil || rid.Page != PageID(i+1) {
+					errCh <- errors.New("wrong value after concurrent inserts")
+					return
+				}
 			}
-			if st := bp.Stats(); st.Evictions == 0 {
-				t.Fatal("cross-table run without evictions; pool too large to test frame stealing")
-			}
-		})
+		}(g, tree)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if st := bp.Stats(); st.Evictions == 0 {
+		t.Fatal("cross-table run without evictions; pool too large to test frame stealing")
 	}
 }
 
@@ -296,12 +311,19 @@ func TestBufferPoolSingleFlightStress(t *testing.T) {
 // Each goroutine owns a disjoint set of pages (the page-content contract);
 // contents must round-trip through eviction exactly.
 func TestBufferPoolCrossShardMissStress(t *testing.T) {
+	for _, kind := range diskKinds {
+		t.Run("disk="+kind, func(t *testing.T) {
+			testBufferPoolCrossShardMissStress(t, newTestDisk(t, kind))
+		})
+	}
+}
+
+func testBufferPoolCrossShardMissStress(t *testing.T, disk DiskManager) {
 	const (
 		goroutines = 8
 		pages      = 256
 		rounds     = 4
 	)
-	disk := NewMemDisk()
 	stamp := func(buf []byte, pid PageID, r int) {
 		binary.LittleEndian.PutUint64(buf[0:], uint64(pid)<<16|uint64(r))
 		binary.LittleEndian.PutUint64(buf[PageSize-8:], uint64(pid)<<16|uint64(r))

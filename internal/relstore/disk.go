@@ -63,6 +63,27 @@ type DiskManager interface {
 	Close() error
 }
 
+// DurableDisk is the extra surface a DiskManager must provide to back a
+// durable DB (OpenDurable/OpenFile): the manifest captures the allocator
+// state at each checkpoint and re-imposes it on reopen, and the checkpoint
+// commit point requires a durability barrier.
+type DurableDisk interface {
+	DiskManager
+	// FreeList returns a copy of the free-page stack, oldest free first;
+	// Allocate pops from the end, so restoring the exact order keeps page
+	// allocation — and therefore a resumed run's physical layout —
+	// deterministic.
+	FreeList() []PageID
+	// Restore imposes allocator state recovered from a manifest: the page
+	// count and the free stack. Pages past n (allocated after the
+	// checkpoint being recovered) are discarded.
+	Restore(n int64, free []PageID) error
+	// Sync durably flushes all written pages (fsync for files, a no-op for
+	// memory disks).
+	//focuslint:blocking io
+	Sync() error
+}
+
 // MemDisk is an in-memory DiskManager. An optional per-operation latency
 // simulates a spinning disk so that access-path differences show up in wall
 // time as well as in the I/O counters.
@@ -172,8 +193,10 @@ func (d *MemDisk) Free(pid PageID) error {
 	}
 	d.freed[pid] = struct{}{}
 	d.free = append(d.free, pid)
-	// Drop the backing so reuse starts from zeroes, like a fresh page.
-	d.pages[pid-1] = nil
+	// The backing bytes stay, mirroring FileDisk: the interface contract
+	// says reused pages are not zeroed (the pool writes before reading),
+	// and durable recovery depends on freed pages keeping their last
+	// checkpoint's image until something actually overwrites them.
 	return nil
 }
 
@@ -197,9 +220,47 @@ func (d *MemDisk) Stats() *IOStats { return &d.stats }
 // Close implements DiskManager.
 func (d *MemDisk) Close() error { return nil }
 
+// Sync implements DurableDisk; memory pages are always "durable" (a
+// simulated crash is the caller discarding the buffer pool, not the disk).
+func (d *MemDisk) Sync() error { return nil }
+
+// FreeList implements DurableDisk.
+func (d *MemDisk) FreeList() []PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]PageID(nil), d.free...)
+}
+
+// Restore implements DurableDisk: imposes the manifest's allocator state,
+// discarding any pages allocated after the checkpoint being recovered.
+func (d *MemDisk) Restore(n int64, free []PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n < 0 || (len(free) > 0 && n == 0) {
+		return fmt.Errorf("relstore: restore to invalid page count %d", n)
+	}
+	for int64(len(d.pages)) > n {
+		d.pages = d.pages[:len(d.pages)-1]
+	}
+	for int64(len(d.pages)) < n {
+		d.pages = append(d.pages, nil)
+	}
+	d.free = append(d.free[:0], free...)
+	d.freed = make(map[PageID]struct{}, len(free))
+	for _, pid := range free {
+		if pid == InvalidPage || int64(pid) > n {
+			return fmt.Errorf("relstore: restored free page %d out of range", pid)
+		}
+		d.freed[pid] = struct{}{}
+	}
+	return nil
+}
+
 // FileDisk is a DiskManager backed by a single operating-system file. The
-// free list is kept in memory only; a reopened file starts with no free
-// pages (there is no persistent catalog to recover them from yet).
+// free list is kept in memory; a durable DB persists it (with the rest of
+// the allocator state) in its manifest and re-imposes it via Restore on
+// reopen — a FileDisk reopened raw (OpenFileDiskAt without a manifest)
+// starts with no free pages.
 type FileDisk struct {
 	// Pure leaf guarding the allocation metadata; the pread/pwrite syscalls
 	// run outside it (see ReadPage/WritePage).
@@ -219,6 +280,24 @@ func OpenFileDisk(path string) (*FileDisk, error) {
 		return nil, err
 	}
 	return &FileDisk{f: f}, nil
+}
+
+// OpenFileDiskAt opens (or creates) a file-backed disk at path WITHOUT
+// truncating: existing page bytes survive, and the page count is derived
+// from the file size. A trailing partial page (a crash mid-extension) is
+// ignored — it was never part of a committed checkpoint. The free list is
+// empty until a manifest restores it (see OpenFile).
+func OpenFileDiskAt(path string) (*FileDisk, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileDisk{f: f, n: fi.Size() / PageSize}, nil
 }
 
 // ReadPage implements DiskManager. The bounds and freed-set checks run
@@ -318,5 +397,48 @@ func (d *FileDisk) FreePages() int64 {
 // Stats implements DiskManager.
 func (d *FileDisk) Stats() *IOStats { return &d.stats }
 
-// Close implements DiskManager.
-func (d *FileDisk) Close() error { return d.f.Close() }
+// Sync fsyncs the file, making every completed WritePage durable. Close
+// used to skip this: dirty OS-buffered pages of a "cleanly" closed disk
+// could vanish in a host crash, which is exactly the window a checkpoint
+// must not have. Checkpoint commit points and Close both call it now.
+func (d *FileDisk) Sync() error { return d.f.Sync() }
+
+// FreeList implements DurableDisk.
+func (d *FileDisk) FreeList() []PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]PageID(nil), d.free...)
+}
+
+// Restore implements DurableDisk: imposes the manifest's allocator state
+// and truncates the file back to n pages, discarding garbage pages
+// allocated after the checkpoint being recovered.
+func (d *FileDisk) Restore(n int64, free []PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n < 0 {
+		return fmt.Errorf("relstore: restore to invalid page count %d", n)
+	}
+	if err := d.f.Truncate(n * PageSize); err != nil {
+		return err
+	}
+	d.n = n
+	d.free = append(d.free[:0], free...)
+	d.freed = make(map[PageID]struct{}, len(free))
+	for _, pid := range free {
+		if pid == InvalidPage || int64(pid) > n {
+			return fmt.Errorf("relstore: restored free page %d out of range", pid)
+		}
+		d.freed[pid] = struct{}{}
+	}
+	return nil
+}
+
+// Close implements DiskManager: flush to stable storage, then close.
+func (d *FileDisk) Close() error {
+	if err := d.f.Sync(); err != nil {
+		d.f.Close()
+		return err
+	}
+	return d.f.Close()
+}

@@ -1,0 +1,27 @@
+package relstore
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// diskKinds is the disk matrix the pool suites run over: the in-memory
+// disk the seed exercised, and the file-backed disk durability runs on.
+var diskKinds = []string{"mem", "file"}
+
+// newTestDisk builds the named DiskManager; file disks live in the test's
+// temp dir and are closed on cleanup.
+func newTestDisk(t *testing.T, kind string) DiskManager {
+	t.Helper()
+	switch kind {
+	case "file":
+		d, err := OpenFileDisk(filepath.Join(t.TempDir(), "disk"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		return d
+	default:
+		return NewMemDisk()
+	}
+}

@@ -82,4 +82,40 @@
 // higher-ranked lock (a stripe holder may take a shard lock) but never a
 // lower-ranked one. See DESIGN.md ("Locking and ordering contract") and
 // the linkgraph package doc for the rationale on each edge of that order.
+//
+// # Durability contract
+//
+// A DB opened with CreateFile, OpenFile, or OpenDurable (over any
+// DurableDisk — FileDisk, or MemDisk/FaultDisk in tests) is durable:
+// DB.Checkpoint commits the current state, and reopening after a crash
+// recovers exactly the last completed checkpoint. The design is no-steal
+// plus a rollback journal plus ping-pong manifest roots (see manifest.go
+// for the full crash-consistency argument):
+//
+//   - Between checkpoints no dirty page is ever written back, so the
+//     on-disk image is always the last checkpoint's. The corollary binds
+//     callers: the set of pages dirtied since the last checkpoint must fit
+//     the buffer pool, or eviction fails with ErrPoolExhausted. Size
+//     Options.Frames for the inter-checkpoint working set, or checkpoint
+//     more often.
+//   - Checkpoint journals the prior images of live pages it will
+//     overwrite, flushes the dirty set, and commits by writing a
+//     generation-stamped, CRC-guarded manifest to the alternate root page
+//     followed by Sync. The manifest carries the catalog (schemas, heap
+//     chains, row counts, B+tree roots) and the allocator's ordered free
+//     list, so recovery restores both the data and the allocation order —
+//     a resumed run's physical page layout is deterministic.
+//   - OpenFile/OpenDurable recover by picking the newest valid root,
+//     replaying the journal if a later checkpoint tore mid-write, and
+//     restoring the free list. A disk with pages but no valid manifest is
+//     rejected with ErrNoManifest; Checkpoint on a non-durable DB returns
+//     ErrNotDurable.
+//
+// Index key functions are closures and cannot be persisted: a reopened
+// table's indexes have their trees intact but Key nil, and the owner must
+// re-bind them by name (Table.BindIndexKey) before any index operation.
+// Checkpoint is single-writer like the catalog: the caller must hold
+// whatever serializes all table access (the crawler checkpoints under its
+// full lock tower). DurableDisk adds Sync, FreeList, and Restore to
+// DiskManager; Stats() exposes physical read/write counters either way.
 package relstore

@@ -1,0 +1,64 @@
+package relstore
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjectedFault is returned by a FaultDisk once its write budget is
+// exhausted — the tests' stand-in for the power going out mid-write.
+var ErrInjectedFault = errors.New("relstore: injected disk fault")
+
+// FaultDisk wraps a DurableDisk and starts failing every WritePage and
+// Sync after a countdown of successful writes. Crash-injection tests use
+// it to kill a checkpoint at an arbitrary page boundary — including
+// between the manifest chain writes and the root write — and then verify
+// that reopening the underlying disk recovers the previous generation.
+// Reads, allocation, and metadata pass through unharmed (a real torn
+// write corrupts what was being written, not what was already on disk;
+// page-granularity tearing is the failure model here).
+type FaultDisk struct {
+	DurableDisk
+	// writesLeft counts down on each WritePage; at zero, writes and syncs
+	// fail. Negative means no injection.
+	writesLeft atomic.Int64
+	tripped    atomic.Bool
+}
+
+// NewFaultDisk wraps d, failing all writes after the first n succeed.
+// n < 0 disarms the fault (pass-through).
+func NewFaultDisk(d DurableDisk, n int64) *FaultDisk {
+	fd := &FaultDisk{DurableDisk: d}
+	fd.writesLeft.Store(n)
+	return fd
+}
+
+// Arm resets the countdown to n successful writes before failure.
+func (d *FaultDisk) Arm(n int64) {
+	d.writesLeft.Store(n)
+	d.tripped.Store(false)
+}
+
+// Disarm stops injecting faults.
+func (d *FaultDisk) Disarm() { d.writesLeft.Store(-1); d.tripped.Store(false) }
+
+// Tripped reports whether the fault has fired at least once.
+func (d *FaultDisk) Tripped() bool { return d.tripped.Load() }
+
+func (d *FaultDisk) WritePage(id PageID, p []byte) error {
+	if d.tripped.Load() {
+		return ErrInjectedFault
+	}
+	if d.writesLeft.Load() >= 0 && d.writesLeft.Add(-1) < 0 {
+		d.tripped.Store(true)
+		return ErrInjectedFault
+	}
+	return d.DurableDisk.WritePage(id, p)
+}
+
+func (d *FaultDisk) Sync() error {
+	if d.tripped.Load() {
+		return ErrInjectedFault
+	}
+	return d.DurableDisk.Sync()
+}

@@ -88,15 +88,16 @@ func TestFileDiskFreeReuse(t *testing.T) {
 }
 
 func TestBufferPoolFreePage(t *testing.T) {
-	for _, shards := range []int{1, 4} {
-		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			testBufferPoolFreePage(t, shards)
-		})
+	for _, kind := range diskKinds {
+		for _, shards := range []int{1, 4} {
+			t.Run(fmt.Sprintf("disk=%s/shards=%d", kind, shards), func(t *testing.T) {
+				testBufferPoolFreePage(t, newTestDisk(t, kind), shards)
+			})
+		}
 	}
 }
 
-func testBufferPoolFreePage(t *testing.T, shards int) {
-	d := NewMemDisk()
+func testBufferPoolFreePage(t *testing.T, d DiskManager, shards int) {
 	bp := NewBufferPoolSharded(d, 8, shards)
 	f, err := bp.NewPage()
 	if err != nil {

@@ -1,0 +1,471 @@
+package relstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Column{Name: "oid", Kind: KInt64},
+		Column{Name: "name", Kind: KString},
+		Column{Name: "score", Kind: KFloat64},
+	)
+}
+
+func oidKey(tp Tuple) []byte { return EncodeKey(tp[0]) }
+
+// fillTable inserts rows [lo, hi) keyed by oid.
+func fillTable(t *testing.T, tb *Table, lo, hi int) {
+	t.Helper()
+	for i := lo; i < hi; i++ {
+		_, err := tb.Insert(Tuple{I64(int64(i)), Str(fmt.Sprintf("row-%d", i)), F64(float64(i) / 3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func checkTable(t *testing.T, tb *Table, n int) {
+	t.Helper()
+	if got := tb.Rows(); got != int64(n) {
+		t.Fatalf("%s: rows = %d, want %d", tb.Name, got, n)
+	}
+	seen := 0
+	err := tb.Scan(func(_ RID, tp Tuple) (bool, error) {
+		seen++
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != n {
+		t.Fatalf("%s: scanned %d rows, want %d", tb.Name, seen, n)
+	}
+	ix := tb.Index("oid")
+	for _, probe := range []int{0, n / 2, n - 1} {
+		rid, ok, err := ix.Lookup(EncodeKey(I64(int64(probe))))
+		if err != nil || !ok {
+			t.Fatalf("%s: lookup oid %d: ok=%v err=%v", tb.Name, probe, ok, err)
+		}
+		tp, err := tb.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tp[0].Int() != int64(probe) {
+			t.Fatalf("%s: lookup oid %d returned row %d", tb.Name, probe, tp[0].Int())
+		}
+	}
+}
+
+// TestDurableFileRoundTrip checkpoints a file-backed DB, closes it, reopens
+// it, and verifies catalog, rows, index lookups, and allocator state all
+// survive — the satellite FileDisk close/reopen coverage plus the tentpole
+// reopen path in one.
+func TestDurableFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crawl.db")
+	db, err := CreateFile(path, Options{Frames: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.CreateTable("T", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.AddIndex("oid", oidKey); err != nil {
+		t.Fatal(err)
+	}
+	fillTable(t, tb, 0, 500)
+	// Free some pages so the manifest's free list is non-trivial.
+	tb2, err := db.CreateTable("TMP", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillTable(t, tb2, 0, 300)
+	if err := db.DropTable("TMP"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	fillTable(t, tb, 500, 700) // second epoch exercises the journal path
+	// Re-grow and re-drop a scratch table so the free list is non-empty at
+	// close (the fills above may have consumed the first drop's pages).
+	tb3, err := db.CreateTable("TMP2", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillTable(t, tb3, 0, 300)
+	if err := db.DropTable("TMP2"); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint now and capture the allocator state; the close-time
+	// checkpoint below has nothing dirty, so it changes none of it.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	wantPages, wantFree := db.Disk().NumPages(), db.Disk().FreePages()
+	if wantFree == 0 {
+		t.Fatal("test wants a non-empty free list to round-trip")
+	}
+	wantList := db.durable.disk.FreeList()
+	if err := db.Close(); err != nil { // Close checkpoints durable DBs
+		t.Fatal(err)
+	}
+
+	db2, err := OpenFile(path, Options{Frames: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if !db2.Durable() {
+		t.Fatal("reopened DB is not durable")
+	}
+	rt := db2.Table("T")
+	if rt == nil {
+		t.Fatal("table T missing after reopen")
+	}
+	if err := rt.BindIndexKey("oid", oidKey); err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, rt, 700)
+	if got := db2.Disk().NumPages(); got != wantPages {
+		t.Fatalf("NumPages after reopen = %d, want %d", got, wantPages)
+	}
+	if got := db2.Disk().FreePages(); got != wantFree {
+		t.Fatalf("FreePages after reopen = %d, want %d", got, wantFree)
+	}
+	gotList := db2.durable.disk.FreeList()
+	for i := range wantList {
+		if gotList[i] != wantList[i] {
+			t.Fatalf("free list order diverged at %d: got %d, want %d", i, gotList[i], wantList[i])
+		}
+	}
+	// The reopened DB keeps working: inserts, another checkpoint, reopen.
+	fillTable(t, rt, 700, 800)
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableCrashLosesOnlyEpoch simulates a crash over a MemDisk: work
+// after the last checkpoint lives only in the buffer pool, so discarding
+// the DB and reopening the same disk recovers exactly the checkpointed
+// state — nothing more, nothing less.
+func TestDurableCrashLosesOnlyEpoch(t *testing.T) {
+	disk := NewMemDisk()
+	db, err := OpenDurable(disk, Options{Frames: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.CreateTable("T", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.AddIndex("oid", oidKey); err != nil {
+		t.Fatal(err)
+	}
+	fillTable(t, tb, 0, 400)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	fillTable(t, tb, 400, 900) // lost: never flushed (no-steal), never checkpointed
+
+	// Crash: drop the DB and pool on the floor, reopen the disk.
+	db2, err := OpenDurable(disk, Options{Frames: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := db2.Table("T")
+	if err := rt.BindIndexKey("oid", oidKey); err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, rt, 400)
+	// And the recovered DB can go on to do the same work again.
+	fillTable(t, rt, 400, 900)
+	checkTable(t, rt, 900)
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableJournalRollsBack crashes in the middle of a checkpoint — after
+// its journal commits, while FlushAll has already overwritten live pages in
+// place — and verifies the journal replay restores the previous
+// generation's pages exactly.
+func TestDurableJournalRollsBack(t *testing.T) {
+	mem := NewMemDisk()
+	fd := NewFaultDisk(mem, -1)
+	db, err := OpenDurable(fd, Options{Frames: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.CreateTable("T", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.AddIndex("oid", oidKey); err != nil {
+		t.Fatal(err)
+	}
+	fillTable(t, tb, 0, 300)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate rows in place so live pages are dirty (and will be journaled).
+	updated := 0
+	err = tb.Scan(func(rid RID, tp Tuple) (bool, error) {
+		if tp[0].Int()%3 == 0 {
+			tp[2] = F64(-1)
+			updated++
+			return false, tb.Update(rid, tp)
+		}
+		return false, nil
+	})
+	if err != nil || updated == 0 {
+		t.Fatalf("updates: %d, err %v", updated, err)
+	}
+	dirtyLive := len(db.pool.DirtyPages())
+	if dirtyLive == 0 {
+		t.Fatal("no dirty pages; journal path not exercised")
+	}
+
+	// Let the journal commit and some of the flush land, then cut power:
+	// journal copies + 1 root + a few data pages, then every write fails.
+	fd.Arm(int64(dirtyLive) + 1 + 3)
+	if err := db.Checkpoint(); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("checkpoint error = %v, want injected fault", err)
+	}
+	if !fd.Tripped() {
+		t.Fatal("fault never fired")
+	}
+
+	// Reboot over the raw MemDisk. The torn checkpoint must roll back.
+	db2, err := OpenDurable(mem, Options{Frames: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := db2.Table("T")
+	if err := rt.BindIndexKey("oid", oidKey); err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, rt, 300)
+	// Every score is the original one: the in-place updates vanished.
+	err = rt.Scan(func(_ RID, tp Tuple) (bool, error) {
+		if tp[2].Float() == -1 {
+			return true, fmt.Errorf("oid %d: post-checkpoint update survived the crash", tp[0].Int())
+		}
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recovered DB checkpoints and survives another reopen.
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := OpenDurable(mem, Options{Frames: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt3 := db3.Table("T")
+	if err := rt3.BindIndexKey("oid", oidKey); err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, rt3, 300)
+}
+
+// TestDurableTornManifestFallsBack kills the checkpoint at every write
+// offset from the journal commit through the manifest root and verifies
+// each torn state recovers to the previous generation.
+func TestDurableTornManifestStress(t *testing.T) {
+	for _, cut := range []int64{0, 1, 2, 5, 9, 14, 20, 33} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			mem := NewMemDisk()
+			fd := NewFaultDisk(mem, -1)
+			db, err := OpenDurable(fd, Options{Frames: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb, err := db.CreateTable("T", testSchema())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tb.AddIndex("oid", oidKey); err != nil {
+				t.Fatal(err)
+			}
+			fillTable(t, tb, 0, 150)
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			fillTable(t, tb, 150, 260)
+			fd.Arm(cut)
+			err = db.Checkpoint()
+			fd.Disarm()
+			if err == nil {
+				// Short checkpoints may finish under large budgets; then
+				// recovery must see the NEW state instead.
+				db2, err := OpenDurable(mem, Options{Frames: 128})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rt := db2.Table("T")
+				if err := rt.BindIndexKey("oid", oidKey); err != nil {
+					t.Fatal(err)
+				}
+				checkTable(t, rt, 260)
+				return
+			}
+			db2, err := OpenDurable(mem, Options{Frames: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt := db2.Table("T")
+			if err := rt.BindIndexKey("oid", oidKey); err != nil {
+				t.Fatal(err)
+			}
+			checkTable(t, rt, 150)
+		})
+	}
+}
+
+// TestOpenFileErrors pins the "error, not panic" contract for bad files.
+func TestOpenFileErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, err := OpenFile(filepath.Join(dir, "absent.db"), Options{}); err == nil {
+		t.Fatal("OpenFile of a missing path did not error")
+	}
+
+	empty := filepath.Join(dir, "empty.db")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(empty, Options{}); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("OpenFile of an empty file: %v, want ErrNoManifest", err)
+	}
+
+	garbage := filepath.Join(dir, "garbage.db")
+	junk := make([]byte, PageSize*4)
+	for i := range junk {
+		junk[i] = byte(i * 131)
+	}
+	if err := os.WriteFile(garbage, junk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(garbage, Options{}); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("OpenFile of garbage: %v, want ErrNoManifest", err)
+	}
+
+	// A partial (truncated mid-page) file still errors cleanly.
+	partial := filepath.Join(dir, "partial.db")
+	if err := os.WriteFile(partial, junk[:PageSize+100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(partial, Options{}); err == nil {
+		t.Fatal("OpenFile of a partial file did not error")
+	}
+}
+
+// TestCheckpointNotDurable pins the guard on plain Open.
+func TestCheckpointNotDurable(t *testing.T) {
+	db := Open(Options{})
+	if err := db.Checkpoint(); !errors.Is(err, ErrNotDurable) {
+		t.Fatalf("err = %v, want ErrNotDurable", err)
+	}
+	if db.Durable() {
+		t.Fatal("plain Open reported durable")
+	}
+}
+
+// TestBindIndexKeyUnknown pins the error path for a bad re-bind.
+func TestBindIndexKeyUnknown(t *testing.T) {
+	db := Open(Options{})
+	tb, err := db.CreateTable("T", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.BindIndexKey("nope", oidKey); err == nil {
+		t.Fatal("bind of unknown index did not error")
+	}
+}
+
+// TestDurableManyEpochs runs many checkpoint epochs with churn (inserts,
+// deletes, truncates) and reopens after each, checking the disk does not
+// leak pages across epochs and state always matches the last checkpoint.
+func TestDurableManyEpochs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epochs.db")
+	db, err := CreateFile(path, Options{Frames: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := db.CreateTable("T", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.AddIndex("oid", oidKey); err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for epoch := 0; epoch < 6; epoch++ {
+		fillTable(t, tb, rows, rows+120)
+		rows += 120
+		if epoch%2 == 1 {
+			// Churn: drop every row divisible by 7 this epoch.
+			var kill []RID
+			err := tb.Scan(func(rid RID, tp Tuple) (bool, error) {
+				if tp[0].Int()%7 == 0 {
+					kill = append(kill, rid)
+				}
+				return false, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Deleting by saved RID is safe: heap RIDs are stable.
+			for _, rid := range kill {
+				tp, err := tb.Get(rid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tb.Delete(rid); err != nil {
+					t.Fatal(err)
+				}
+				_ = tp
+				rows--
+			}
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+	}
+	want := tb.Rows()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := OpenFile(path, Options{Frames: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rt := db2.Table("T")
+	if err := rt.BindIndexKey("oid", oidKey); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Rows() != want {
+		t.Fatalf("rows after many epochs = %d, want %d", rt.Rows(), want)
+	}
+	n := 0
+	err = rt.Scan(func(_ RID, tp Tuple) (bool, error) {
+		n++
+		return false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(n) != want {
+		t.Fatalf("scan rows = %d, want %d", n, want)
+	}
+}

@@ -252,9 +252,10 @@ func (it *tableIter) Next() (Tuple, bool, error) {
 
 // DB is a catalog of tables sharing one buffer pool and disk.
 type DB struct {
-	disk   DiskManager
-	pool   *BufferPool
-	tables map[string]*Table
+	disk    DiskManager
+	pool    *BufferPool
+	tables  map[string]*Table
+	durable *durableState // nil unless opened via OpenDurable/CreateFile/OpenFile
 }
 
 // Options configures Open.
@@ -333,8 +334,18 @@ func (db *DB) DropTable(name string) error {
 // Table returns the named table or nil.
 func (db *DB) Table(name string) *Table { return db.tables[name] }
 
-// Close flushes the pool and closes the disk.
+// Close flushes the pool and closes the disk. A durable DB checkpoints
+// instead of merely flushing: a flush without a manifest write would put
+// newer data pages under an older catalog, which is exactly the torn state
+// recovery guards against.
 func (db *DB) Close() error {
+	if db.durable != nil {
+		if err := db.Checkpoint(); err != nil {
+			db.disk.Close()
+			return err
+		}
+		return db.disk.Close()
+	}
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}

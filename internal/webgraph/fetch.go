@@ -58,6 +58,7 @@ type fetchState struct {
 	//focuslint:lock rank=fetchstate leaf noblock=io,chan,sleep
 	mu       sync.Mutex
 	failRng  *rand.Rand
+	failSrc  *countingSource
 	hosts    map[string]*hostFault
 	fetches  atomic.Int64
 	timeouts atomic.Int64
@@ -65,6 +66,31 @@ type fetchState struct {
 	limited  atomic.Int64
 	outages  atomic.Int64
 }
+
+// countingSource wraps the failure RNG's source and counts every state
+// advance. The count is the whole RNG state for checkpointing purposes: the
+// source is seeded deterministically, and both Int63 and Uint64 advance the
+// underlying generator by exactly one step, so re-seeding and burning the
+// same number of draws reproduces the stream position bit-for-bit.
+// Guarded by fetchState.mu like the *rand.Rand that owns it.
+type countingSource struct {
+	src rand.Source64
+	n   int64
+}
+
+//focuslint:rng baseline
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+//focuslint:rng baseline
+func (s *countingSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) { s.src.Seed(seed) }
 
 // hostFault is one server's fault-injection state — the rolling rate-limit
 // window and the current outage — guarded by fetchState.mu.
@@ -75,7 +101,10 @@ type hostFault struct {
 }
 
 func (s *fetchState) init(cfg Config) {
-	s.failRng = rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
+	// rand.NewSource's concrete type implements Source64; the assertion is
+	// load-bearing for checkpoint replay (Uint64 burns exactly one step).
+	s.failSrc = &countingSource{src: rand.NewSource(cfg.Seed ^ 0x5DEECE66D).(rand.Source64)}
+	s.failRng = rand.New(s.failSrc)
 	s.hosts = make(map[string]*hostFault)
 }
 
